@@ -1,0 +1,89 @@
+"""Ablation: the conflict-vs-capacity heuristic's factor-of-2 threshold.
+
+Section 4.3: a set suffers conflict misses when it is assigned more lines
+than its ways *and* "a factor of 2 more than average"; if most sets look
+alike, the diagnosis is capacity instead.  The ablation drives both
+synthetic extremes through DProf's cache simulation and sweeps the
+threshold factor, showing that the paper's choice separates the cases
+while extreme factors break one side or the other.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.dprof.cachesim import DProfCacheSim
+from repro.dprof.records import AddressSet
+from repro.hw.cache import CacheGeometry
+from repro.util.rng import DeterministicRng
+
+
+def conflict_address_set(geometry, hot_lines=40, background=320, seed=3):
+    """Objects crowding one set, over a noisy random background.
+
+    The background is randomly placed (Poisson-like per-set counts), so an
+    overly permissive threshold factor will flag ordinary sets too.
+    """
+    aset = AddressSet()
+    rng = DeterministicRng(seed, "bg")
+    stride = geometry.num_sets * geometry.line_size
+    for i in range(hot_lines):
+        aset.record_alloc("hot", i * stride, 64, 1, 0, i)
+    for i in range(background):
+        line = rng.randint(1, geometry.num_sets * 64 - 1)
+        aset.record_alloc("bg", line * geometry.line_size, 64, 1, 0, 100 + i)
+    return aset
+
+
+def capacity_address_set(geometry, multiple=4):
+    """Uniform pressure at several times the cache capacity."""
+    aset = AddressSet()
+    for i in range(geometry.num_lines * multiple):
+        aset.record_alloc("big", i * geometry.line_size, 64, 1, 0, i)
+    return aset
+
+
+def test_ablation_conflict_factor(benchmark):
+    geometry = CacheGeometry(16 * 1024, 8, 64)
+    sim = DProfCacheSim(geometry, DeterministicRng(5, "ablation"))
+    conflict_result = sim.simulate(conflict_address_set(geometry), {})
+    capacity_result = sim.simulate(capacity_address_set(geometry), {})
+
+    factors = [1.2, 1.5, 2.0, 3.0, 6.0, 12.0]
+    lines = ["Ablation: conflict-set detection vs threshold factor", ""]
+    rows = []
+    for factor in factors:
+        conflict_sets = conflict_result.conflict_sets(factor)
+        false_sets = capacity_result.conflict_sets(factor)
+        rows.append((factor, len(conflict_sets), len(false_sets)))
+        lines.append(
+            f"  factor {factor:5.1f}: conflict workload -> "
+            f"{len(conflict_sets)} flagged sets; "
+            f"capacity workload -> {len(false_sets)} (false) flagged sets"
+        )
+    write_artifact("ablation_conflict_heuristic.txt", "\n".join(lines))
+
+    by_factor = {f: (c, fp) for f, c, fp in rows}
+    # The paper's factor of 2: catches the genuinely overloaded set and
+    # raises no false conflicts on uniform capacity pressure.
+    assert by_factor[2.0][0] >= 1
+    assert by_factor[2.0][1] == 0
+    # A permissive threshold flags more sets (noise) than the paper's
+    # choice; a huge threshold misses the real conflict entirely.
+    assert by_factor[1.2][0] > by_factor[2.0][0]
+    assert by_factor[12.0][0] == 0
+
+    # Benchmark the histogram analysis itself.
+    benchmark(conflict_result.conflict_sets, 2.0)
+
+
+def test_ablation_capacity_detection_insensitive_to_factor():
+    geometry = CacheGeometry(16 * 1024, 8, 64)
+    sim = DProfCacheSim(geometry, DeterministicRng(5, "ablation2"))
+    result = sim.simulate(capacity_address_set(geometry), {})
+    assert result.capacity_pressured()
+    # A light background keeps the conflict case unambiguous: one hot set
+    # over otherwise-unpressured neighbours is conflict, not capacity.
+    conflict_result = sim.simulate(
+        conflict_address_set(geometry, background=60), {}
+    )
+    assert not conflict_result.capacity_pressured()

@@ -1,0 +1,81 @@
+"""Baseline comparison (Section 2.2): Intel PTU vs DProf on memcached.
+
+The paper's criticism of the closest prior tool, measured: PTU attributes
+samples to cache lines and can only *name* lines inside static
+structures, so on a kernel workload -- where the hot data is slab
+memory -- most of the missing lines stay anonymous, there is no
+aggregation by type, and the working set is a count of addresses.  DProf,
+on the same run, names every one of those lines by type.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.baselines.ptu import run_ptu
+from repro.dprof import DProf, DProfConfig
+from repro.hw.machine import MachineConfig
+from repro.kernel import Kernel
+from repro.workloads import MemcachedWorkload
+
+NCORES = 8
+
+
+def run_comparison():
+    kernel = Kernel(MachineConfig(ncores=NCORES, seed=37))
+    workload = MemcachedWorkload(kernel)
+    workload.setup()
+    ptu, pebs = run_ptu(kernel.machine, kernel.slab, interval=80)
+    dprof = DProf(kernel, DProfConfig(ibs_interval=300))
+    pebs.attach()
+    dprof.attach()
+    workload.run(700_000, warmup_cycles=150_000)
+    dprof.detach()
+    pebs.detach()
+    return kernel, ptu, pebs, dprof
+
+
+def test_ptu_vs_dprof_attribution(benchmark):
+    kernel, ptu, pebs, dprof = run_comparison()
+    report = benchmark(ptu.report)
+
+    profile = dprof.data_profile()
+    lines = [
+        "Baseline comparison: Intel-PTU-style view vs DProf (memcached)",
+        "",
+        report.render(10),
+        "",
+        f"lines PTU could name:            {report.attributed_fraction:8.1%}",
+        f"misses on lines PTU could name:  {report.attributed_miss_fraction():8.1%}",
+        "",
+        "DProf's view of the same run:",
+        profile.render(6),
+    ]
+    write_artifact("baseline_ptu_comparison.txt", "\n".join(lines))
+
+    # The paper's criticism, quantified: the majority of sampled misses
+    # land on dynamic (slab) lines PTU cannot name...
+    assert report.rows
+    assert report.attributed_miss_fraction() < 0.5
+    # ...while DProf attributes the bulk of all misses to concrete types.
+    assert profile.covered_share(8) > 0.6
+    assert profile.rows[0].type_name in ("size-1024", "skbuff")
+
+    # PTU's working set is an address count, not a type breakdown.
+    assert report.working_set_lines > 50
+
+
+def test_ptu_hitm_counters_spot_the_shared_device(benchmark):
+    kernel, ptu, pebs, _dprof = run_comparison()
+    suspects = benchmark(pebs.sharing_suspect_lines, 4)
+    assert suspects
+    # The Intel-counter recipe does find *line-level* sharing: the shared
+    # net_device / qdisc lines show up among the top HITM lines.  What it
+    # cannot do is say which type or which code transition -- that is
+    # DProf's data flow view.
+    named = set()
+    for line, _hitm, _miss in suspects[:10]:
+        obj = kernel.slab.find_object(line * 64)
+        if obj is not None:
+            named.add(obj.otype.name)
+    assert named & {"net_device", "Qdisc", "kmem_list3", "wait_queue_head",
+                    "array_cache", "eventpoll", "udp_sock"}

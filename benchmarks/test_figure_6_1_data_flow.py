@@ -1,0 +1,58 @@
+"""Figure 6-1: the skbuff data flow view for memcached.
+
+The figure's diagnosis: skbuffs on the transmit path jump from one core to
+another between ``pfifo_fast_enqueue`` and ``pfifo_fast_dequeue`` (bold
+edge), and the post-jump functions have high access latencies (dark
+boxes).  The case study then uses the graph to bound the search: only
+functions *above* ``pfifo_fast_enqueue`` can be responsible for the queue
+choice -- and ``skb_tx_hash`` sits right there.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.dprof.views.data_flow import DataFlowView
+
+
+def test_figure_6_1_skbuff_data_flow(benchmark, memcached_session):
+    session = memcached_session
+    traces = session.dprof.path_traces("skbuff")
+    flow = benchmark(DataFlowView, "skbuff", traces)
+    write_artifact(
+        "figure_6_1_skbuff_data_flow.txt",
+        flow.render_text() + "\n\n" + flow.to_dot(),
+    )
+
+    # The graph covers the rx path and the tx path from kalloc to kfree.
+    for fn in ("kalloc", "kfree", "pfifo_fast_enqueue", "pfifo_fast_dequeue"):
+        assert fn in flow.nodes, f"{fn} missing from the flow graph"
+
+    # The bold line: a CPU transition between enqueue and dequeue.
+    bold = {(e.src, e.dst) for e in flow.cpu_change_edges()}
+    assert ("pfifo_fast_enqueue", "pfifo_fast_dequeue") in bold
+
+    # Dark boxes: the post-transition consumer is expensive.
+    hot = {n.name for n in flow.hot_nodes(latency_threshold=100)}
+    assert hot & {"pfifo_fast_dequeue", "skb_dma_map", "dev_hard_start_xmit"}
+
+
+def test_figure_6_1_narrows_the_search(memcached_session):
+    flow = memcached_session.dprof.data_flow("skbuff")
+    before = flow.functions_before("pfifo_fast_enqueue")
+    # The functions that decide the queue are upstream of the enqueue --
+    # exactly where skb_tx_hash is called from.
+    assert "dev_queue_xmit" in before or "skb_put" in before
+    # ...and the scope is a strict subset of the whole graph, so the
+    # programmer reads fewer functions than OProfile's 20+ candidates.
+    # (Merged statistical graphs can contain noisy back-edges, so the
+    # claim is about narrowing, not a perfect cut.)
+    assert len(before) < len(flow.nodes) - 2
+
+
+def test_figure_6_1_fix_removes_cross_cpu_edges(memcached_case_study):
+    # After installing local queue selection, re-profiling shows no
+    # enqueue->dequeue CPU transition; here we check the underlying
+    # behaviour directly: no alien frees and no foreign qdisc traffic.
+    fixed = memcached_case_study.fixed_workload
+    assert fixed.stack.skbuff_cache.alien_frees == 0
+    assert fixed.stack.size1024_cache.alien_frees == 0

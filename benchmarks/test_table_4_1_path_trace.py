@@ -1,0 +1,77 @@
+"""Table 4.1: a sample path trace for a packet structure on the tx path.
+
+The paper's example shows a network-packet path trace whose early entries
+hit the local L1 cheaply and whose transmit-side entry runs on a
+*different* CPU and is served from a foreign cache at ~200 cycles.  The
+stock memcached run reproduces exactly that shape for the payload/skbuff
+types.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.dprof.report import render_path_trace, render_path_traces
+from repro.hw.events import CacheLevel
+
+
+def bouncing_traces(session, type_name):
+    return [t for t in session.dprof.path_traces(type_name) if t.bounces]
+
+
+def test_table_4_1_path_trace(benchmark, memcached_session):
+    session = memcached_session
+    traces = session.dprof.path_traces("skbuff")
+    assert traces, "no skbuff path traces collected"
+
+    rendered = benchmark(render_path_trace, traces[0])
+    write_artifact(
+        "table_4_1_path_trace.txt",
+        render_path_traces(session.dprof.path_traces("skbuff"), limit=3)
+        + "\n\n"
+        + render_path_traces(session.dprof.path_traces("size-1024"), limit=2),
+    )
+    assert "Path trace" in rendered
+
+    # The paper's headline shape: some path of the packet types crosses
+    # CPUs mid-lifetime...
+    bouncing = bouncing_traces(session, "skbuff") + bouncing_traces(
+        session, "size-1024"
+    )
+    assert bouncing, "expected a cross-CPU path trace for packet types"
+
+    # ...and the post-transition access is served remotely (foreign cache
+    # or DRAM) while same-CPU accesses early in the path hit locally.
+    found_expensive_transition = False
+    for trace in bouncing:
+        for entry in trace.entries:
+            if entry.cpu_changed and entry.sample_count > 0:
+                if entry.remote_probability > 0.3:
+                    found_expensive_transition = True
+    assert found_expensive_transition
+
+    # Path traces carry frequencies: the most common path dominates.
+    freqs = [t.frequency for t in session.dprof.path_traces("skbuff")]
+    assert freqs == sorted(freqs, reverse=True)
+    assert sum(freqs) > 10
+
+
+def test_path_trace_timestamps_monotone_per_chunk(memcached_session):
+    # Within one watched chunk, merged timestamps must increase along the
+    # path (they are averages of per-object RDTSC deltas).
+    for trace in memcached_session.dprof.path_traces("skbuff"):
+        per_chunk: dict = {}
+        for entry in trace.entries:
+            per_chunk.setdefault(entry.offsets[0] // 4, []).append(entry.mean_time)
+        for times in per_chunk.values():
+            assert times == sorted(times)
+
+
+def test_path_trace_hit_probabilities_are_probabilities(memcached_session):
+    for type_name in ("skbuff", "size-1024"):
+        for trace in memcached_session.dprof.path_traces(type_name):
+            for entry in trace.entries:
+                total = sum(entry.hit_probabilities.values())
+                assert total <= 1.0 + 1e-9
+                for level, p in entry.hit_probabilities.items():
+                    assert isinstance(level, CacheLevel)
+                    assert 0.0 <= p <= 1.0

@@ -1,0 +1,80 @@
+"""Table 6.1: working set + data profile views for memcached.
+
+Paper's table (stock kernel, 16 cores):
+
+    size-1024    packet payload     14.6MB   45.40%  yes
+    slab         SLAB bookkeeping    2.55MB  10.48%  yes
+    array-cache  SLAB per-core       128B     9.51%  yes
+    net_device   device struct       128B     6.03%  yes
+    udp-sock     UDP socket          1024B    5.24%  yes
+    skbuff       packet bookkeeping 20.55MB   5.20%  yes
+    Total                           37.7MB   81.86%
+
+The shape claims: the payload pool dominates misses by a wide margin, the
+allocator's own bookkeeping types and the shared device structure rank
+high, *everything* in the top group bounces between cores, and the top
+handful of types covers most of all L1 misses.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+
+PAPER_TOP_TYPES = {
+    "size-1024",
+    "slab",
+    "array_cache",
+    "net_device",
+    "udp_sock",
+    "skbuff",
+}
+
+
+def test_table_6_1_memcached_data_profile(benchmark, memcached_session):
+    session = memcached_session
+    profile = benchmark(session.dprof.data_profile)
+    write_artifact("table_6_1_memcached_profile.txt", profile.render(8))
+
+    names = [r.type_name for r in profile.rows]
+    present = PAPER_TOP_TYPES & set(names)
+    assert present == PAPER_TOP_TYPES, f"missing types: {PAPER_TOP_TYPES - present}"
+
+    # size-1024 dominates the miss profile, well clear of skbuff.
+    top = profile.rows[0]
+    assert top.type_name == "size-1024"
+    payload = profile.row_for("size-1024")
+    skbuff = profile.row_for("skbuff")
+    assert payload.miss_share > 0.25
+    assert payload.miss_share > 2 * skbuff.miss_share
+
+    # Every paper-table type bounces between cores on the stock kernel.
+    for name in PAPER_TOP_TYPES:
+        assert profile.row_for(name).bounce, f"{name} should bounce"
+
+    # The top types cover the bulk of all L1 misses (paper: 81.86%).
+    assert profile.covered_share(8) > 0.6
+
+
+def test_table_6_1_working_set_sizes(memcached_session):
+    profile = memcached_session.dprof.data_profile()
+    payload = profile.row_for("size-1024")
+    skbuff = profile.row_for("skbuff")
+    net_device = profile.row_for("net_device")
+    slab = profile.row_for("slab")
+
+    # Dynamic packet types have a real live working set; the single
+    # net_device is exactly one 128B structure; slab descriptors span
+    # many objects (paper: 2.55MB of them).
+    assert payload.working_set_bytes > 10_000
+    assert skbuff.working_set_bytes > 1_000
+    assert net_device.working_set_bytes == 128.0
+    assert slab.working_set_bytes > 1_000
+
+
+def test_table_6_1_descriptions_match_thesis_vocabulary(memcached_session):
+    profile = memcached_session.dprof.data_profile()
+    assert profile.row_for("size-1024").description == "packet payload"
+    assert (
+        profile.row_for("skbuff").description == "packet bookkeeping structure"
+    )
+    assert "SLAB" in profile.row_for("array_cache").description

@@ -1,0 +1,79 @@
+"""Table 6.7: object access history collection times and overhead.
+
+Paper's rows (memcached: size-1024, skbuff; Apache: size-1024, skbuff,
+skbuff_fclone, tcp_sock) report histories collected, collection time, and
+overhead between 0.8% and 16%.  Absolute times don't transfer from the
+testbed; the reproduced structure is: every type's collection completes,
+overhead stays in the single-digit-to-tens percent band, bigger objects
+need more histories per set, and the per-job setup cost (reserve +
+debug-register broadcast) dominates the cycle bill.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.util.tables import TextTable, format_percent
+
+
+def render_study(title, study):
+    table = TextTable(
+        ["Data Type", "Size", "Histories", "Sets", "Mcycles", "Overhead"],
+        title=title,
+    )
+    for name, stats in study.collections.items():
+        cache = study.kernel.slab.caches.get(name)
+        size = cache.obj_size if cache else 0
+        table.add_row(
+            name,
+            size,
+            stats.jobs_completed,
+            max((h.set_index for h in stats.histories), default=-1) + 1,
+            f"{stats.collection_cycles / 1e6:.2f}",
+            format_percent(stats.overhead_fraction),
+        )
+    return table.render()
+
+
+def test_table_6_7_memcached_history_overhead(
+    benchmark, memcached_history_study, apache_history_study
+):
+    mem = memcached_history_study
+    apa = apache_history_study
+    rendered = benchmark(render_study, "memcached", mem)
+    write_artifact(
+        "table_6_7_history_overhead.txt",
+        rendered + "\n\n" + render_study("Apache", apa),
+    )
+
+    for study in (mem, apa):
+        for name, stats in study.collections.items():
+            assert stats.jobs_completed > 0, f"{name}: nothing collected"
+            # Overhead band: the paper spans 0.8%-16%.
+            assert stats.overhead_fraction < 0.4, f"{name} overhead too high"
+            assert stats.collection_cycles > 0
+
+
+def test_table_6_7_collection_time_grows_with_jobs(memcached_history_study):
+    # More jobs -> proportionally more collection time (each job owns one
+    # object's lifetime plus a fixed ~220k-cycle setup).
+    stats = list(memcached_history_study.collections.values())
+    for s in stats:
+        per_job = s.collection_cycles / max(s.jobs_completed, 1)
+        setup = memcached_history_study.kernel.machine.interconnect.object_setup_cost(
+            memcached_history_study.kernel.ncores
+        )
+        assert per_job > 0.5 * setup
+
+
+def test_table_6_7_tcp_sock_needs_more_coverage(apache_history_study):
+    # The paper: "the bigger the object the more runs are needed".  A
+    # full set for tcp_sock (1600B) has 400 chunks vs skbuff's 64; with
+    # hot-chunk focusing both collect, but the full-coverage set size
+    # ratio is pinned by the type sizes.
+    kernel = apache_history_study.kernel
+    from repro.dprof.history import chunks_for_type
+
+    tcp_chunks = len(chunks_for_type(kernel.slab.cache("tcp_sock").obj_size))
+    skb_chunks = len(chunks_for_type(kernel.slab.cache("skbuff").obj_size))
+    assert tcp_chunks == 400  # paper: 32000 histories / 80 sets
+    assert skb_chunks == 64  # paper: 64 histories per set

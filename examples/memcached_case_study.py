@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Case study 1 (paper Section 6.1): finding memcached's hidden bottleneck.
+
+Reproduces the full investigation narrative:
+
+1. run 16 pinned memcached instances on a stock kernel and observe the
+   missing scalability;
+2. profile with DProf: the data profile shows packet payloads and skbuffs
+   bouncing between cores even though the setup was built to avoid all
+   cross-core sharing;
+3. read the skbuff data flow view: packets cross CPUs between
+   ``pfifo_fast_enqueue`` and ``pfifo_fast_dequeue`` -- the TX queue
+   choice is wrong;
+4. look just *above* the enqueue in the flow graph: ``skb_tx_hash`` picks
+   the queue by hashing, so responses land on remote queues;
+5. apply the fix (a driver-local queue selection function) and measure
+   the throughput recovery (paper: +57%).
+
+Also prints what lock-stat and OProfile say about the same run, so you
+can judge the paper's comparison yourself.
+
+Run:  python examples/memcached_case_study.py      (takes a minute or two)
+"""
+
+from repro.baselines import LockStatReport, OProfile
+from repro.dprof import DProf, DProfConfig
+from repro.fixes import install_local_queue_selection
+from repro.hw.machine import MachineConfig
+from repro.kernel import Kernel
+from repro.workloads import MemcachedWorkload
+
+NCORES = 16
+
+
+def profiled_stock_run():
+    """Run the stock kernel under DProf + OProfile; return everything."""
+    kernel = Kernel(MachineConfig(ncores=NCORES, seed=11))
+    workload = MemcachedWorkload(kernel)
+    workload.setup()
+    oprofile = OProfile(kernel.machine)
+    oprofile.attach()
+    workload.start()
+    kernel.run(until_cycle=200_000)
+
+    dprof = DProf(kernel, DProfConfig(ibs_interval=400))
+    dprof.attach()
+    base = workload.counter.total
+    start = kernel.elapsed_cycles()
+    kernel.run(until_cycle=start + 1_000_000)
+    throughput = (workload.counter.total - base) * 1e6 / (
+        kernel.elapsed_cycles() - start
+    )
+    # Object access histories for the two suspicious types; pairwise
+    # sets give the cross-member orderings the data flow view needs.
+    dprof.collect_histories("skbuff", sets=3, hot_chunks=6, member_offsets=[0])
+    kernel.run(
+        until_cycle=kernel.elapsed_cycles() + 15_000_000,
+        stop_when=lambda: dprof.histories_done,
+    )
+    dprof.collect_histories(
+        "skbuff", sets=5, hot_chunks=4, member_offsets=[0], pair=True
+    )
+    kernel.run(
+        until_cycle=kernel.elapsed_cycles() + 25_000_000,
+        stop_when=lambda: dprof.histories_done,
+    )
+    dprof.detach()
+    oprofile.detach()
+    return kernel, workload, dprof, oprofile, throughput
+
+
+def fixed_run():
+    """Stock kernel + the local queue selection fix; return throughput."""
+    kernel = Kernel(MachineConfig(ncores=NCORES, seed=11))
+    workload = MemcachedWorkload(kernel)
+    workload.setup()
+    install_local_queue_selection(workload.stack.dev)
+    result = workload.run(1_000_000, warmup_cycles=200_000)
+    return result.throughput, workload
+
+
+def main():
+    print("Running the stock kernel under DProf (this simulates ~45M cycles)...")
+    kernel, workload, dprof, oprofile, stock_throughput = profiled_stock_run()
+
+    print()
+    print("=" * 72)
+    print("STEP 1 -- DProf data profile (compare with the paper's Table 6.1)")
+    print("=" * 72)
+    profile = dprof.data_profile()
+    print(profile.render(8))
+    payload = profile.row_for("size-1024")
+    print(
+        f"\n-> {payload.type_name} has {payload.miss_share:.0%} of all L1 misses"
+        f" and bounces between cores. Packets should never leave their core!"
+    )
+
+    print()
+    print("=" * 72)
+    print("STEP 2 -- skbuff data flow view (compare with Figure 6-1)")
+    print("=" * 72)
+    flow = dprof.data_flow("skbuff")
+    print(flow.render_text())
+    bold = {(e.src, e.dst) for e in flow.cpu_change_edges()}
+    if ("pfifo_fast_enqueue", "pfifo_fast_dequeue") in bold:
+        print("\n-> skbuffs JUMP CPUs between enqueue and dequeue.")
+    suspects = flow.functions_before("pfifo_fast_enqueue")
+    print(f"-> functions to inspect (upstream of the enqueue): {sorted(suspects)}")
+    print("-> skb_tx_hash is right there: the default hashes packets to")
+    print("   a random TX queue instead of the local one.")
+
+    print()
+    print("=" * 72)
+    print("WHAT THE BASELINES SAY ABOUT THE SAME RUN")
+    print("=" * 72)
+    print(LockStatReport(kernel.lockstat, kernel.machine.total_cycles()).render(5))
+    print()
+    print(oprofile.render(12, exclude=frozenset({"memcached_get"})))
+    print("\n-> Qdisc-lock contention and 20+ warm functions; neither names")
+    print("   the data type nor the decision point.")
+
+    print()
+    print("=" * 72)
+    print("STEP 3 -- apply the fix: ixgbe_select_queue() returns the local queue")
+    print("=" * 72)
+    fixed_throughput, fixed_workload = fixed_run()
+    improvement = fixed_throughput / stock_throughput - 1
+    print(f"stock throughput: {stock_throughput:10.1f} requests/Mcycle")
+    print(f"fixed throughput: {fixed_throughput:10.1f} requests/Mcycle")
+    print(f"improvement:      {improvement:10.1%}   (paper: +57%)")
+    print(
+        f"alien frees: stock={workload.stack.skbuff_cache.alien_frees}, "
+        f"fixed={fixed_workload.stack.skbuff_cache.alien_frees}"
+    )
+    assert improvement > 0.3
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""DProf reproduction: data profiling for cache performance bottlenecks.
+
+This package reproduces the system described in "Locating Cache Performance
+Bottlenecks Using Data Profiling" (Pesterev, MIT, 2010 / EuroSys 2010).
+
+Layers, bottom to top:
+
+- :mod:`repro.hw` -- a simulated multicore machine: set-associative caches
+  with MESI coherence, an IBS-style sampling unit, and x86-style debug
+  registers.  The paper used real AMD hardware; the simulation supplies the
+  same events with exact ground truth.
+- :mod:`repro.kernel` -- a simulated Linux-like kernel substrate: typed SLAB
+  allocator, spinlocks with lock statistics, and a multiqueue network stack
+  (skbuff / qdisc / UDP / TCP).
+- :mod:`repro.dprof` -- the paper's contribution: access samples, object
+  access histories, path traces, and the four DProf views (data profile,
+  miss classification, working set, data flow).
+- :mod:`repro.baselines` -- OProfile- and lock-stat-style profilers used as
+  comparison points in the paper's case studies.
+- :mod:`repro.workloads` -- memcached- and Apache-style workloads plus
+  synthetic microworkloads for each cache-miss class.
+- :mod:`repro.fixes` -- the two case-study fixes: local TX-queue selection
+  and accept-queue admission control.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

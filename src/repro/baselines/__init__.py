@@ -1,0 +1,28 @@
+"""Baseline profilers the paper compares DProf against.
+
+- :mod:`repro.baselines.oprofile` -- an OProfile-style code profiler:
+  clock cycles and L2 misses attributed to *functions* (Table 6.3);
+- :mod:`repro.baselines.lockstat` -- a lock-stat-style report over the
+  kernel's lock statistics (Tables 6.2, 6.6);
+- :mod:`repro.baselines.ptu` -- an Intel PTU-style line-granularity data
+  profiler over PEBS samples, with the static-only attribution the paper
+  criticizes (Section 2.2).
+
+Both exist to reproduce the paper's comparison: the same bottlenecks that
+DProf pins to a data type and a code transition appear in these tools as
+long, undifferentiated lists.
+"""
+
+from repro.baselines.oprofile import OProfile, OProfileRow
+from repro.baselines.lockstat import LockStatReport, LockStatRow
+from repro.baselines.ptu import PtuProfiler, PtuReport, run_ptu
+
+__all__ = [
+    "OProfile",
+    "OProfileRow",
+    "LockStatReport",
+    "LockStatRow",
+    "PtuProfiler",
+    "PtuReport",
+    "run_ptu",
+]

@@ -1,0 +1,92 @@
+"""A lock-stat-style report (paper Sections 6.1.2, 6.2.2).
+
+Formats the kernel's lock statistics the way the thesis's Tables 6.2 and
+6.6 do: per lock class, total wait time, overhead as a fraction of total
+CPU time, and the functions that acquired the lock.  Lock *instances* are
+aggregated into classes by stripping the per-instance suffix (Linux
+lock-stat aggregates by lock class the same way).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.kernel.lockstat import LockStatRegistry
+from repro.util.stats import Histogram
+from repro.util.tables import TextTable, format_percent
+
+_INSTANCE_SUFFIX = re.compile(r"\s*\(.*\)$")
+
+
+@dataclass
+class LockStatRow:
+    """One lock class's aggregated statistics."""
+
+    name: str
+    wait_cycles: int
+    hold_cycles: int
+    acquisitions: int
+    contentions: int
+    overhead: float  # wait / total CPU cycles
+    functions: Histogram = field(default_factory=Histogram)
+
+    def top_functions(self, n: int = 4) -> list[str]:
+        """The most frequent acquiring functions."""
+        return [str(fn) for fn, _count in self.functions.top(n)]
+
+
+class LockStatReport:
+    """Aggregates and renders lock statistics for one run."""
+
+    def __init__(self, registry: LockStatRegistry, total_cpu_cycles: int) -> None:
+        self.registry = registry
+        self.total_cpu_cycles = max(total_cpu_cycles, 1)
+
+    def rows(self) -> list[LockStatRow]:
+        """Lock classes ranked by total wait time."""
+        merged: dict[str, LockStatRow] = {}
+        for stat in self.registry.all_stats():
+            cls = _INSTANCE_SUFFIX.sub("", stat.name)
+            row = merged.get(cls)
+            if row is None:
+                row = LockStatRow(
+                    name=cls,
+                    wait_cycles=0,
+                    hold_cycles=0,
+                    acquisitions=0,
+                    contentions=0,
+                    overhead=0.0,
+                )
+                merged[cls] = row
+            row.wait_cycles += stat.wait_cycles
+            row.hold_cycles += stat.hold_cycles
+            row.acquisitions += stat.acquisitions
+            row.contentions += stat.contentions
+            for fn, count in stat.acquirer_functions.items():
+                row.functions.add(fn, count)
+        for row in merged.values():
+            row.overhead = row.wait_cycles / self.total_cpu_cycles
+        return sorted(merged.values(), key=lambda r: r.wait_cycles, reverse=True)
+
+    def row_for(self, name: str) -> LockStatRow | None:
+        """Find one lock class's row."""
+        for row in self.rows():
+            if row.name == name:
+                return row
+        return None
+
+    def render(self, n: int = 8) -> str:
+        """Render like the thesis's Table 6.2."""
+        table = TextTable(
+            ["Lock Name", "Wait Cycles", "Overhead", "Functions"],
+            title="Lock statistics",
+        )
+        for row in self.rows()[:n]:
+            table.add_row(
+                row.name,
+                f"{row.wait_cycles:,}",
+                format_percent(row.overhead),
+                ", ".join(row.top_functions(3)),
+            )
+        return table.render()

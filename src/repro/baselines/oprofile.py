@@ -1,0 +1,126 @@
+"""An OProfile-style code profiler (paper Sections 2.1, 6.1.3, 6.2.3).
+
+OProfile counts hardware events and attributes them to instruction
+pointers, reporting functions ranked by clock cycles and by L2 misses
+(Table 6.3).  The paper's criticism -- which this reproduction lets you
+verify directly -- is that per-function attribution *dilutes* data-centric
+problems: misses on one data type spread across the dozens of functions
+touching it, so no single entry stands out, and the profile offers no clue
+that the entries share a common thread.
+
+The simulated profiler observes every instruction (statistical sampling on
+real hardware; exact counting is the zero-variance limit of the same
+estimator) and aggregates cycles and L2-miss events per function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.events import AccessResult, Instr
+from repro.hw.machine import Machine
+from repro.util.tables import TextTable
+
+
+@dataclass
+class OProfileRow:
+    """One function's profile entry."""
+
+    fn: str
+    clk_share: float
+    l2_miss_share: float
+    cycles: int
+    l2_misses: int
+
+
+class OProfile:
+    """Function-granularity CLK + L2-miss profiler."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.cycles_by_fn: dict[str, int] = {}
+        self.l2_by_fn: dict[str, int] = {}
+        self.total_cycles = 0
+        self.total_l2 = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Start observing instructions."""
+        if not self._attached:
+            self.machine.add_instr_observer(self._on_instr)
+            self._attached = True
+
+    def detach(self) -> None:
+        """Stop observing."""
+        if self._attached:
+            self.machine.remove_instr_observer(self._on_instr)
+            self._attached = False
+
+    def _on_instr(
+        self, cpu: int, instr: Instr, result: AccessResult | None, cycle: int
+    ) -> None:
+        cost = instr.work + (result.latency if result is not None else 0)
+        self.cycles_by_fn[instr.fn] = self.cycles_by_fn.get(instr.fn, 0) + cost
+        self.total_cycles += cost
+        if result is not None and result.l2_miss:
+            self.l2_by_fn[instr.fn] = self.l2_by_fn.get(instr.fn, 0) + 1
+            self.total_l2 += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def rows(self, exclude: set[str] | frozenset[str] = frozenset()) -> list[OProfileRow]:
+        """Functions ranked by clock-cycle share.
+
+        ``exclude`` drops functions (e.g. userspace work when profiling
+        only the kernel, as the paper's Table 6.3 does) and renormalizes
+        the remaining shares.
+        """
+        total_cycles = sum(
+            c for fn, c in self.cycles_by_fn.items() if fn not in exclude
+        )
+        total_l2 = sum(c for fn, c in self.l2_by_fn.items() if fn not in exclude)
+        out = []
+        for fn, cycles in self.cycles_by_fn.items():
+            if fn in exclude:
+                continue
+            out.append(
+                OProfileRow(
+                    fn=fn,
+                    clk_share=cycles / total_cycles if total_cycles else 0.0,
+                    l2_miss_share=(
+                        self.l2_by_fn.get(fn, 0) / total_l2 if total_l2 else 0.0
+                    ),
+                    cycles=cycles,
+                    l2_misses=self.l2_by_fn.get(fn, 0),
+                )
+            )
+        out.sort(key=lambda r: r.clk_share, reverse=True)
+        return out
+
+    def top(self, n: int, exclude: set[str] | frozenset[str] = frozenset()) -> list[OProfileRow]:
+        """The *n* hottest functions by clock share."""
+        return self.rows(exclude)[:n]
+
+    def functions_over(
+        self, clk_share: float, exclude: set[str] | frozenset[str] = frozenset()
+    ) -> list[OProfileRow]:
+        """Functions above a clock-share threshold (the paper counts 29
+        functions above 1% for memcached)."""
+        return [r for r in self.rows(exclude) if r.clk_share >= clk_share]
+
+    def render(self, n: int = 20, exclude: set[str] | frozenset[str] = frozenset()) -> str:
+        """Render like the thesis's Table 6.3 (% CLK, % L2 misses)."""
+        table = TextTable(["% CLK", "% L2 Misses", "Function"], title="OProfile")
+        for row in self.top(n, exclude):
+            table.add_row(
+                f"{row.clk_share * 100:.1f}",
+                f"{row.l2_miss_share * 100:.1f}",
+                row.fn,
+            )
+        return table.render()

@@ -1,0 +1,139 @@
+"""Command-line interface: run the reproduction's workloads and views.
+
+Usage::
+
+    python -m repro.cli memcached [--cores N] [--fixed] [--duration CYCLES]
+    python -m repro.cli apache    [--cores N] [--period CYCLES] [--admission N]
+    python -m repro.cli diagnose  [--cores N]
+
+``memcached`` and ``apache`` run the case-study workloads under DProf and
+print the data profile plus throughput (with or without the paper's
+fixes); ``diagnose`` runs the automated diagnosis pipeline against the
+misconfigured memcached workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import LockStatReport
+from repro.dprof import Diagnosis, DProf, DProfConfig
+from repro.fixes import apply_admission_control, install_local_queue_selection
+from repro.hw.machine import MachineConfig
+from repro.kernel import Kernel
+from repro.workloads import ApacheConfig, ApacheWorkload, MemcachedWorkload
+
+
+def _profiled_memcached(cores: int, fixed: bool, duration: int, interval: int):
+    kernel = Kernel(MachineConfig(ncores=cores, seed=11))
+    workload = MemcachedWorkload(kernel)
+    workload.setup()
+    if fixed:
+        install_local_queue_selection(workload.stack.dev)
+    dprof = DProf(kernel, DProfConfig(ibs_interval=interval))
+    dprof.attach()
+    result = workload.run(duration, warmup_cycles=duration // 5)
+    dprof.detach()
+    return kernel, workload, dprof, result
+
+
+def cmd_memcached(args: argparse.Namespace) -> int:
+    kernel, _workload, dprof, result = _profiled_memcached(
+        args.cores, args.fixed, args.duration, args.interval
+    )
+    label = "fixed (local TX queues)" if args.fixed else "stock (skb_tx_hash)"
+    print(f"memcached on {args.cores} cores, {label}")
+    print(f"throughput: {result.throughput:.1f} requests/Mcycle")
+    print()
+    print(dprof.data_profile().render(args.top))
+    print()
+    print(LockStatReport(kernel.lockstat, kernel.machine.total_cycles()).render(5))
+    return 0
+
+
+def cmd_apache(args: argparse.Namespace) -> int:
+    kernel = Kernel(MachineConfig(ncores=args.cores, seed=11))
+    workload = ApacheWorkload(
+        kernel, config=ApacheConfig(arrival_period=args.period)
+    )
+    workload.setup()
+    if args.admission:
+        apply_admission_control(workload.listeners.values(), args.admission)
+    dprof = DProf(kernel, DProfConfig(ibs_interval=args.interval))
+    dprof.attach()
+    result = workload.run(args.duration, warmup_cycles=args.duration)
+    dprof.detach()
+    mode = f"admission={args.admission}" if args.admission else "stock backlog"
+    print(
+        f"apache on {args.cores} cores, 1 conn / {args.period} cycles/core, {mode}"
+    )
+    print(f"throughput: {result.throughput:.1f} requests/Mcycle")
+    print(f"mean accept wait: {workload.mean_accept_wait():,.0f} cycles")
+    print(f"connections dropped: {workload.total_dropped()}")
+    print()
+    print(dprof.data_profile().render(args.top))
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    kernel = Kernel(MachineConfig(ncores=args.cores, seed=52))
+    workload = MemcachedWorkload(kernel)
+    workload.setup()
+    workload.start()
+    kernel.run(until_cycle=150_000)
+    dprof = DProf(kernel, DProfConfig(ibs_interval=args.interval))
+    dprof.attach()
+    kernel.run(until_cycle=kernel.elapsed_cycles() + 600_000)
+    dprof.collect_histories(
+        "skbuff", sets=3, hot_chunks=4, member_offsets=[0], pair=True
+    )
+    kernel.run(
+        until_cycle=kernel.elapsed_cycles() + 15_000_000,
+        stop_when=lambda: dprof.histories_done,
+    )
+    dprof.detach()
+    print(Diagnosis(dprof).render(args.top))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DProf reproduction workloads"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mc = sub.add_parser("memcached", help="run the Section 6.1 workload")
+    mc.add_argument("--cores", type=int, default=8)
+    mc.add_argument("--fixed", action="store_true", help="apply the +57%% fix")
+    mc.add_argument("--duration", type=int, default=600_000)
+    mc.add_argument("--interval", type=int, default=400)
+    mc.add_argument("--top", type=int, default=8)
+    mc.set_defaults(func=cmd_memcached)
+
+    ap = sub.add_parser("apache", help="run the Section 6.2 workload")
+    ap.add_argument("--cores", type=int, default=8)
+    ap.add_argument("--period", type=int, default=22_000)
+    ap.add_argument("--admission", type=int, default=0, help="backlog cap (0=off)")
+    ap.add_argument("--duration", type=int, default=1_000_000)
+    ap.add_argument("--interval", type=int, default=400)
+    ap.add_argument("--top", type=int, default=8)
+    ap.set_defaults(func=cmd_apache)
+
+    dg = sub.add_parser("diagnose", help="automated diagnosis on memcached")
+    dg.add_argument("--cores", type=int, default=8)
+    dg.add_argument("--interval", type=int, default=300)
+    dg.add_argument("--top", type=int, default=6)
+    dg.set_defaults(func=cmd_diagnose)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

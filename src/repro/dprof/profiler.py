@@ -1,0 +1,324 @@
+"""The DProf profiler facade.
+
+Typical session, mirroring how the paper's case studies use the tool::
+
+    dprof = DProf(kernel)
+    dprof.attach()                      # address set + IBS sampling on
+    ... run the workload ...            # machine.run(...)
+    dprof.collect_histories("skbuff", sets=40)
+    ... keep the workload running until dprof.histories_done ...
+    dprof.detach()
+
+    profile = dprof.data_profile()      # Table 6.1-style ranking
+    ws      = dprof.working_set()       # live sizes + assoc histogram
+    classes = dprof.miss_classification("skbuff")
+    flow    = dprof.data_flow("skbuff") # Figure 6-1-style graph
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dprof.access_sampler import AccessSampleCollector
+from repro.dprof.cachesim import DProfCacheSim, WorkingSetSimResult
+from repro.dprof.history import DEFAULT_CHUNK_SIZE, HistoryCollector
+from repro.dprof.pathtrace import PathTraceBuilder
+from repro.dprof.records import AddressSet, PathTrace
+from repro.dprof.resolver import TypeResolver
+from repro.dprof.views import (
+    DataFlowView,
+    DataProfileRow,
+    DataProfileView,
+    MissClassification,
+    MissClassifier,
+    WorkingSetRow,
+    WorkingSetView,
+)
+from repro.errors import ProfilingError
+from repro.hw.cache import CacheGeometry
+from repro.kernel.kernel import Kernel
+from repro.kernel.layout import KObject
+from repro.util.rng import DeterministicRng
+
+#: Foreign-cache share of a type's samples above which the profiler marks
+#: the type as bouncing even without collected histories.
+BOUNCE_FOREIGN_SHARE = 0.01
+
+
+@dataclass(frozen=True)
+class DProfConfig:
+    """Profiler knobs.
+
+    ``ibs_interval`` is instructions between IBS tags (lower = more
+    samples = more overhead, Figure 6-2).  ``chunk_size`` is the debug
+    register width used for histories (the paper uses 4 bytes).  The
+    cache-sim geometry defaults to the machine's private L2, which is
+    where the paper's conflict/capacity phenomena live.
+    """
+
+    ibs_interval: int = 1000
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    sim_cache_size: int | None = None
+    sim_cache_ways: int | None = None
+    sim_max_objects: int = 4000
+    #: Raw access samples kept in memory; None = unbounded (the paper's
+    #: prototype), a cap = DCPI-style spilling (aggregates keep counting).
+    max_resident_samples: int | None = None
+    seed: int = 99
+
+
+class DProf:
+    """Data-oriented profiler over a simulated kernel."""
+
+    def __init__(self, kernel: Kernel, config: DProfConfig | None = None) -> None:
+        self.kernel = kernel
+        self.config = config or DProfConfig()
+        self.machine = kernel.machine
+        self.resolver = TypeResolver(kernel.slab)
+        self.sampler = AccessSampleCollector(
+            self.machine,
+            self.resolver,
+            chunk_size=self.config.chunk_size,
+            max_resident_samples=self.config.max_resident_samples,
+        )
+        self.history = HistoryCollector(
+            self.machine, kernel.slab, chunk_size=self.config.chunk_size
+        )
+        self.address_set = AddressSet()
+        self.rng = DeterministicRng(self.config.seed, "dprof")
+        self.attached = False
+        self.profile_start_cycle = 0
+        self.profile_end_cycle = 0
+        self._type_descriptions: dict[str, str] = {}
+        self._type_sizes: dict[str, int] = {}
+        self._traces_cache: dict[str, list[PathTrace]] = {}
+        self._sim_cache: WorkingSetSimResult | None = None
+
+    # ------------------------------------------------------------------
+    # Session control
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Start recording the address set and IBS access samples."""
+        if self.attached:
+            raise ProfilingError("DProf already attached")
+        self.attached = True
+        self.profile_start_cycle = self.machine.elapsed_cycles()
+        self._snapshot_live_objects()
+        self.kernel.slab.add_alloc_listener(self._on_alloc)
+        self.kernel.slab.add_free_listener(self._on_free)
+        self.sampler.start(self.config.ibs_interval)
+
+    def _snapshot_live_objects(self) -> None:
+        """Seed the address set with objects already live at attach time.
+
+        The allocator knows every outstanding allocation, so objects that
+        predate the profiling session (worker task_structs, long-lived
+        sockets) still contribute to the working-set view; their lifetime
+        is counted from the start of the profiling window.
+        """
+        now = self.profile_start_cycle
+        for cache in self.kernel.slab.caches.values():
+            for slab in cache.slabs:
+                for obj in slab.objects:
+                    if obj.alive:
+                        self._on_alloc(obj, obj.home_cpu, now)
+
+    def detach(self) -> None:
+        """Stop all collection and freeze the profiling window."""
+        if not self.attached:
+            raise ProfilingError("DProf not attached")
+        self.attached = False
+        self.profile_end_cycle = self.machine.elapsed_cycles()
+        self.sampler.stop()
+        self.history.finalize()
+        self.kernel.slab.remove_alloc_listener(self._on_alloc)
+        self.kernel.slab.remove_free_listener(self._on_free)
+        self._traces_cache.clear()
+        self._sim_cache = None
+
+    def _on_alloc(self, obj: KObject, cpu: int, cycle: int) -> None:
+        name = obj.otype.name
+        self._type_descriptions.setdefault(name, obj.otype.description)
+        self._type_sizes.setdefault(name, obj.otype.size)
+        self.address_set.record_alloc(name, obj.base, obj.otype.size, obj.cookie, cpu, cycle)
+
+    def _on_free(self, obj: KObject, cpu: int, cycle: int) -> None:
+        self.address_set.record_free(obj.base, obj.cookie, cpu, cycle)
+
+    # ------------------------------------------------------------------
+    # History collection
+    # ------------------------------------------------------------------
+
+    def collect_histories(
+        self,
+        type_name: str,
+        sets: int,
+        pair: bool = False,
+        hot_chunks: int | None = None,
+        member_offsets: list[int] | None = None,
+    ) -> int:
+        """Schedule history sets for a type and start the collector.
+
+        ``hot_chunks`` limits coverage to the N most-sampled members, and
+        ``member_offsets`` adds explicitly chosen offsets ("the programmer
+        can tune which members are in this set", Section 6.4); when both
+        are None the whole type is covered.  Returns the jobs queued.
+        """
+        size = self._type_sizes.get(type_name)
+        if size is None:
+            size = self._lookup_type_size(type_name)
+        offsets: set[int] = set()
+        if hot_chunks is not None:
+            offsets.update(self.sampler.popular_chunks(type_name, hot_chunks))
+        if member_offsets is not None:
+            chunk = self.config.chunk_size
+            offsets.update((off // chunk) * chunk for off in member_offsets)
+        chunks = None
+        if offsets:
+            chunks = [
+                (off, min(self.config.chunk_size, size - off))
+                for off in sorted(offsets)
+                if off < size
+            ]
+        jobs = self.history.schedule_sets(type_name, size, sets, pair=pair, chunks=chunks)
+        self.history.start()
+        return jobs
+
+    def _lookup_type_size(self, type_name: str) -> int:
+        cache = self.kernel.slab.caches.get(type_name)
+        if cache is not None:
+            return cache.obj_size
+        raise ProfilingError(f"unknown type {type_name!r}: no allocations observed")
+
+    @property
+    def histories_done(self) -> bool:
+        """True once every scheduled history job completed."""
+        return self.history.done
+
+    # ------------------------------------------------------------------
+    # Derived data
+    # ------------------------------------------------------------------
+
+    def path_traces(self, type_name: str) -> list[PathTrace]:
+        """Path traces for one type (built lazily, cached)."""
+        cached = self._traces_cache.get(type_name)
+        if cached is None:
+            builder = PathTraceBuilder(self.kernel.symbols, self.sampler)
+            cached = builder.build(type_name, self.history.histories_for(type_name))
+            self._traces_cache[type_name] = cached
+        return cached
+
+    def _window(self) -> tuple[int, int]:
+        end = (
+            self.profile_end_cycle
+            if self.profile_end_cycle > self.profile_start_cycle
+            else self.machine.elapsed_cycles()
+        )
+        return self.profile_start_cycle, end
+
+    def _sim_geometry(self) -> CacheGeometry:
+        cfg = self.machine.config
+        size = self.config.sim_cache_size or cfg.l2_size
+        ways = self.config.sim_cache_ways or cfg.l2_ways
+        return CacheGeometry(size, ways, cfg.line_size)
+
+    def working_set_sim(self) -> WorkingSetSimResult:
+        """DProf's offline cache simulation result (cached)."""
+        if self._sim_cache is None:
+            traces = {
+                name: self.path_traces(name)
+                for name in {h.type_name for h in self.history.histories}
+            }
+            sim = DProfCacheSim(self._sim_geometry(), self.rng.child("cachesim"))
+            self._sim_cache = sim.simulate(
+                self.address_set, traces, max_objects=self.config.sim_max_objects
+            )
+        return self._sim_cache
+
+    # ------------------------------------------------------------------
+    # The four views
+    # ------------------------------------------------------------------
+
+    def bounce_flag(self, type_name: str) -> bool:
+        """Does this type's data move between cores during its lifetime?"""
+        for history in self.history.histories_for(type_name):
+            cpus = {el.cpu for el in history.elements}
+            cpus.add(history.alloc_cpu)
+            if len(cpus) > 1:
+                return True
+        # Fall back to the sampling signal: foreign-cache loads imply the
+        # data was last written by another core.
+        samples = self.sampler.type_samples.count(type_name)
+        if samples == 0:
+            return False
+        foreign = sum(
+            1
+            for s in self.sampler.samples
+            if s.type_name == type_name and s.level.name == "FOREIGN"
+        )
+        return foreign / samples > BOUNCE_FOREIGN_SHARE
+
+    def data_profile(self) -> DataProfileView:
+        """The ranked data profile (Tables 6.1/6.4/6.5)."""
+        start, end = self._window()
+        rows = []
+        for type_name, _misses in self.sampler.popular_types():
+            rows.append(
+                DataProfileRow(
+                    type_name=type_name,
+                    description=self._description(type_name),
+                    working_set_bytes=self.address_set.mean_live_bytes(
+                        type_name, start, end
+                    )
+                    or self._static_bytes(type_name),
+                    miss_share=self.sampler.miss_share(type_name),
+                    bounce=self.bounce_flag(type_name),
+                    sample_count=self.sampler.type_samples.count(type_name),
+                )
+            )
+        return DataProfileView(rows, self.sampler.total_l1_misses)
+
+    def _static_bytes(self, type_name: str) -> float:
+        """Footprint for types never slab-allocated (static objects)."""
+        static = self.kernel.slab.static_bytes(type_name)
+        if static:
+            return float(static)
+        size = self._type_sizes.get(type_name)
+        return float(size) if size is not None else 0.0
+
+    def _description(self, type_name: str) -> str:
+        desc = self._type_descriptions.get(type_name)
+        if desc:
+            return desc
+        statics = self.kernel.slab.static_objects_by_type().get(type_name)
+        if statics:
+            return statics[0].otype.description
+        return ""
+
+    def working_set(self) -> WorkingSetView:
+        """The working set view (Section 4.2)."""
+        start, end = self._window()
+        sim = self.working_set_sim()
+        rows = []
+        for type_name in self.address_set.type_names():
+            rows.append(
+                WorkingSetRow(
+                    type_name=type_name,
+                    mean_live_bytes=self.address_set.mean_live_bytes(type_name, start, end),
+                    mean_live_objects=self.address_set.mean_live_objects(
+                        type_name, start, end
+                    ),
+                    mean_resident_lines=sim.mean_resident_lines.get(type_name, 0.0),
+                )
+            )
+        return WorkingSetView(rows, sim, window_cycles=end - start)
+
+    def miss_classification(self, type_name: str) -> MissClassification:
+        """The miss classification view for one type (Section 4.3)."""
+        classifier = MissClassifier(self.working_set_sim())
+        return classifier.classify(type_name, self.path_traces(type_name))
+
+    def data_flow(self, type_name: str) -> DataFlowView:
+        """The data flow view for one type (Section 4.4 / Figure 6-1)."""
+        return DataFlowView(type_name, self.path_traces(type_name))

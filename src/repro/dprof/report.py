@@ -1,0 +1,60 @@
+"""Report rendering: path traces in the thesis's Table 4.1 format."""
+
+from __future__ import annotations
+
+from repro.dprof.records import PathTrace
+from repro.hw.events import CacheLevel
+from repro.util.tables import TextTable, format_percent
+
+#: Human labels for cache levels, phrased the way Table 4.1 phrases them.
+LEVEL_LABELS = {
+    CacheLevel.L1: "local L1",
+    CacheLevel.L2: "local L2",
+    CacheLevel.L3: "shared L3",
+    CacheLevel.FOREIGN: "foreign cache",
+    CacheLevel.DRAM: "DRAM",
+}
+
+
+def render_path_trace(trace: PathTrace) -> str:
+    """Render one path trace like the paper's Table 4.1.
+
+    Columns: mean timestamp, function (standing in for the program
+    counter), CPU-change flag, accessed offsets, dominant cache hit
+    probability, and mean access time.
+    """
+    table = TextTable(
+        [
+            "Timestamp",
+            "Program counter",
+            "CPU change",
+            "Offsets",
+            "Cache hit probability",
+            "Access time",
+        ],
+        title=f"Path trace: {trace.type_name} (frequency {trace.frequency})",
+    )
+    for entry in trace.entries:
+        probs = sorted(
+            entry.hit_probabilities.items(), key=lambda kv: kv[1], reverse=True
+        )
+        if probs:
+            level, p = probs[0]
+            prob_text = f"{format_percent(p, 0)} {LEVEL_LABELS[level]}"
+        else:
+            prob_text = "-"
+        table.add_row(
+            f"{entry.mean_time:.0f}",
+            f"{entry.fn}()",
+            "yes" if entry.cpu_changed else "no",
+            f"{entry.offsets[0]}-{entry.offsets[1]}",
+            prob_text,
+            f"{entry.mean_latency:.0f} cyc" if entry.mean_latency else "-",
+        )
+    return table.render()
+
+
+def render_path_traces(traces: list[PathTrace], limit: int = 3) -> str:
+    """Render the most frequent paths of a type."""
+    parts = [render_path_trace(t) for t in traces[:limit]]
+    return "\n\n".join(parts)

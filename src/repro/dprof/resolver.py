@@ -1,0 +1,55 @@
+"""Address-to-type resolution (paper Section 5.2).
+
+Given a raw data address from an IBS sample, find the data type containing
+it, the object's base address, and hence the offset into the type.  For
+dynamically-allocated memory DProf asks the (instrumented) allocator; for
+statically-allocated memory it consults debug information -- here, the
+slab system's static-object registry plays that role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.layout import KObject
+from repro.kernel.slab import SlabSystem
+
+
+@dataclass(frozen=True, slots=True)
+class Resolution:
+    """Outcome of resolving one address."""
+
+    type_name: str
+    offset: int
+    base: int
+    obj: KObject
+    live: bool
+
+
+class TypeResolver:
+    """Resolves data addresses to (type, offset) through the allocator."""
+
+    def __init__(self, slab: SlabSystem) -> None:
+        self.slab = slab
+        self.resolved = 0
+        self.unresolved = 0
+
+    def resolve(self, addr: int) -> Resolution | None:
+        """Resolve *addr*, or None for memory DProf knows nothing about.
+
+        Resolution works even for currently-free objects: a slab address
+        keeps its pool's type across recycling, which is exactly the
+        property DProf relies on (Section 5.2).
+        """
+        obj = self.slab.find_object(addr)
+        if obj is None:
+            self.unresolved += 1
+            return None
+        self.resolved += 1
+        return Resolution(
+            type_name=obj.otype.name,
+            offset=addr - obj.base,
+            base=obj.base,
+            obj=obj,
+            live=obj.alive,
+        )

@@ -1,0 +1,265 @@
+"""Profiling-session serialization (the DCPI lineage).
+
+The paper: "Currently DProf stores all raw samples in RAM while
+profiling.  Techniques from DCPI can be used to transfer samples to disk
+while profiling."  This module provides the disk half: a profiling
+session's raw data (aggregated sample statistics, object access
+histories, the address set, and the symbol map) serializes to JSON, and
+an :class:`OfflineSession` rebuilds every DProf view from the file alone
+-- profile on one machine, analyze anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dprof.cachesim import DProfCacheSim, WorkingSetSimResult
+from repro.dprof.pathtrace import PathTraceBuilder
+from repro.dprof.records import (
+    AccessStats,
+    AddressSet,
+    HistoryElement,
+    ObjectAccessHistory,
+)
+from repro.dprof.views import (
+    DataFlowView,
+    DataProfileRow,
+    DataProfileView,
+    MissClassification,
+    MissClassifier,
+)
+from repro.errors import ProfilingError
+from repro.hw.cache import CacheGeometry
+from repro.hw.events import CacheLevel
+from repro.kernel.symbols import SymbolTable
+from repro.util.rng import DeterministicRng
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def export_session(dprof) -> dict:
+    """Serialize a (detached) DProf session to a JSON-compatible dict."""
+    sampler = dprof.sampler
+    stats_blob = []
+    for (type_name, chunk, ip), stats in sampler.stats.items():
+        stats_blob.append(
+            {
+                "type": type_name,
+                "chunk": chunk,
+                "ip": ip,
+                "count": stats.count,
+                "levels": {level.name: n for level, n in stats.level_counts.items() if n},
+                "latency_mean": stats.latency.mean,
+                "latency_count": stats.latency.count,
+            }
+        )
+    histories_blob = []
+    for h in dprof.history.histories:
+        histories_blob.append(
+            {
+                "type": h.type_name,
+                "base": h.object_base,
+                "cookie": h.object_cookie,
+                "offsets": [list(c) for c in h.offsets],
+                "alloc_cpu": h.alloc_cpu,
+                "alloc_cycle": h.alloc_cycle,
+                "free_cycle": h.free_cycle,
+                "free_cpu": h.free_cpu,
+                "set_index": h.set_index,
+                "elements": [
+                    [el.offset, el.ip, el.cpu, el.time, int(el.is_write)]
+                    for el in h.elements
+                ],
+            }
+        )
+    address_blob = [
+        {
+            "type": e.type_name,
+            "base": e.base,
+            "size": e.size,
+            "alloc": e.alloc_cycle,
+            "alloc_cpu": e.alloc_cpu,
+            "free": e.free_cycle,
+            "free_cpu": e.free_cpu,
+        }
+        for e in dprof.address_set.entries
+    ]
+    symbols_blob = {
+        str(ip): list(sym) for ip, sym in dprof.kernel.symbols._ip_to_sym.items()
+    }
+    cfg = dprof.machine.config
+    return {
+        "version": FORMAT_VERSION,
+        "window": [dprof.profile_start_cycle, dprof.profile_end_cycle],
+        "total_l1_misses": sampler.total_l1_misses,
+        "type_misses": {str(k): v for k, v in sampler.type_misses.items()},
+        "type_samples": {str(k): v for k, v in sampler.type_samples.items()},
+        # Bounce combines history evidence with the foreign-sample
+        # fallback, which needs the raw samples -- compute it at export.
+        "bounce": {
+            str(name): dprof.bounce_flag(str(name))
+            for name, _count in sampler.type_misses.items()
+        },
+        "descriptions": dict(dprof._type_descriptions),
+        "static_bytes": {
+            name: dprof.kernel.slab.static_bytes(name)
+            for name in dprof.kernel.slab.static_objects_by_type()
+        },
+        "stats": stats_blob,
+        "histories": histories_blob,
+        "address_set": address_blob,
+        "symbols": symbols_blob,
+        "sim_geometry": [cfg.l2_size, cfg.l2_ways, cfg.line_size],
+        "chunk_size": dprof.config.chunk_size,
+    }
+
+
+def save_session(dprof, path: str | Path) -> Path:
+    """Export and write a session archive to *path*."""
+    path = Path(path)
+    path.write_text(json.dumps(export_session(dprof)))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Offline analysis
+# ----------------------------------------------------------------------
+
+
+class _OfflineSampler:
+    """Just enough of AccessSampleCollector for the view builders."""
+
+    def __init__(self, blob: dict, chunk_size: int) -> None:
+        self.chunk_size = chunk_size
+        self.stats: dict[tuple, AccessStats] = {}
+        for item in blob["stats"]:
+            stats = AccessStats()
+            stats.count = item["count"]
+            for name, n in item["levels"].items():
+                stats.level_counts[CacheLevel[name]] = n
+            stats.latency.count = item["latency_count"]
+            stats.latency.mean = item["latency_mean"]
+            self.stats[(item["type"], item["chunk"], item["ip"])] = stats
+
+    def stats_for(self, type_name: str, offset: int, ip: int):
+        chunk = (offset // self.chunk_size) * self.chunk_size
+        return self.stats.get((type_name, chunk, ip))
+
+
+class OfflineSession:
+    """Rebuilds DProf's views from a serialized session archive."""
+
+    def __init__(self, blob: dict) -> None:
+        if blob.get("version") != FORMAT_VERSION:
+            raise ProfilingError(
+                f"unsupported session format {blob.get('version')!r}"
+            )
+        self.blob = blob
+        self.window = tuple(blob["window"])
+        self.symbols = SymbolTable()
+        for ip, (fn, site) in blob["symbols"].items():
+            self.symbols._ip_to_sym[int(ip)] = (fn, site)
+        self.sampler = _OfflineSampler(blob, blob["chunk_size"])
+        self.address_set = AddressSet()
+        for e in blob["address_set"]:
+            self.address_set.record_alloc(
+                e["type"], e["base"], e["size"], 0, e["alloc_cpu"], e["alloc"]
+            )
+            if e["free"] is not None:
+                self.address_set.record_free(e["base"], 0, e["free_cpu"], e["free"])
+        self.histories = [self._history_from(h) for h in blob["histories"]]
+        self._traces_cache: dict[str, list] = {}
+        self._sim_cache: WorkingSetSimResult | None = None
+
+    @staticmethod
+    def _history_from(blob: dict) -> ObjectAccessHistory:
+        h = ObjectAccessHistory(
+            type_name=blob["type"],
+            object_base=blob["base"],
+            object_cookie=blob["cookie"],
+            offsets=tuple(tuple(c) for c in blob["offsets"]),
+            alloc_cpu=blob["alloc_cpu"],
+            alloc_cycle=blob["alloc_cycle"],
+            set_index=blob.get("set_index", 0),
+        )
+        h.free_cycle = blob["free_cycle"]
+        h.free_cpu = blob["free_cpu"]
+        h.elements = [
+            HistoryElement(offset=o, ip=ip, cpu=cpu, time=t, is_write=bool(w))
+            for o, ip, cpu, t, w in blob["elements"]
+        ]
+        return h
+
+    # ------------------------------------------------------------------
+    # Views (mirror the live DProf facade)
+    # ------------------------------------------------------------------
+
+    def path_traces(self, type_name: str):
+        cached = self._traces_cache.get(type_name)
+        if cached is None:
+            builder = PathTraceBuilder(self.symbols, self.sampler)
+            relevant = [h for h in self.histories if h.type_name == type_name]
+            cached = builder.build(type_name, relevant)
+            self._traces_cache[type_name] = cached
+        return cached
+
+    def working_set_sim(self) -> WorkingSetSimResult:
+        if self._sim_cache is None:
+            size, ways, line = self.blob["sim_geometry"]
+            sim = DProfCacheSim(
+                CacheGeometry(size, ways, line), DeterministicRng(3, "offline")
+            )
+            traces = {
+                name: self.path_traces(name)
+                for name in {h.type_name for h in self.histories}
+            }
+            self._sim_cache = sim.simulate(self.address_set, traces)
+        return self._sim_cache
+
+    def data_profile(self) -> DataProfileView:
+        blob = self.blob
+        total_misses = sum(blob["type_misses"].values()) or 1
+        start, end = self.window
+        rows = []
+        for type_name, misses in sorted(
+            blob["type_misses"].items(), key=lambda kv: kv[1], reverse=True
+        ):
+            live = self.address_set.mean_live_bytes(type_name, start, end)
+            if not live:
+                live = float(blob["static_bytes"].get(type_name, 0))
+            bounce = blob.get("bounce", {}).get(type_name)
+            if bounce is None:
+                bounce = any(
+                    len({el.cpu for el in h.elements} | {h.alloc_cpu}) > 1
+                    for h in self.histories
+                    if h.type_name == type_name
+                )
+            rows.append(
+                DataProfileRow(
+                    type_name=type_name,
+                    description=blob["descriptions"].get(type_name, ""),
+                    working_set_bytes=live,
+                    miss_share=misses / total_misses,
+                    bounce=bounce,
+                    sample_count=blob["type_samples"].get(type_name, 0),
+                )
+            )
+        return DataProfileView(rows, blob["total_l1_misses"])
+
+    def miss_classification(self, type_name: str) -> MissClassification:
+        classifier = MissClassifier(self.working_set_sim())
+        return classifier.classify(type_name, self.path_traces(type_name))
+
+    def data_flow(self, type_name: str) -> DataFlowView:
+        return DataFlowView(type_name, self.path_traces(type_name))
+
+
+def load_session(path: str | Path) -> OfflineSession:
+    """Read a session archive and return an offline analysis handle."""
+    return OfflineSession(json.loads(Path(path).read_text()))

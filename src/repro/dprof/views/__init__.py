@@ -1,0 +1,27 @@
+"""DProf's four views (paper Section 3).
+
+- :mod:`repro.dprof.views.data_profile` -- types ranked by miss share,
+  with bounce flags (Tables 6.1, 6.4, 6.5);
+- :mod:`repro.dprof.views.working_set` -- live bytes/objects per type and
+  the associativity-set histogram (Section 4.2);
+- :mod:`repro.dprof.views.miss_class` -- invalidation (true/false
+  sharing) vs conflict vs capacity per type (Section 4.3);
+- :mod:`repro.dprof.views.data_flow` -- the merged execution-path graph
+  with cross-CPU transitions highlighted (Figure 6-1).
+"""
+
+from repro.dprof.views.data_profile import DataProfileRow, DataProfileView
+from repro.dprof.views.working_set import WorkingSetRow, WorkingSetView
+from repro.dprof.views.miss_class import MissClass, MissClassification, MissClassifier
+from repro.dprof.views.data_flow import DataFlowView
+
+__all__ = [
+    "DataProfileRow",
+    "DataProfileView",
+    "WorkingSetRow",
+    "WorkingSetView",
+    "MissClass",
+    "MissClassification",
+    "MissClassifier",
+    "DataFlowView",
+]

@@ -1,0 +1,180 @@
+"""The data flow view (Section 4.4, Figure 6-1).
+
+Merges a type's execution paths into one graph from allocation to free.
+Nodes are functions; edges are observed transitions weighted by how many
+objects took them.  Two annotations carry the diagnosis:
+
+- **bold edges** (``cpu_change``): the object's cache lines moved to a
+  different core at this transition -- Figure 6-1's bold lines, where the
+  memcached analysis found skbuffs jumping cores between
+  ``pfifo_fast_enqueue`` and ``pfifo_fast_dequeue``;
+- **hot nodes**: functions whose accesses to the type have high average
+  latency -- Figure 6-1's dark boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dprof.records import PathTrace
+from repro.util.stats import OnlineStats
+
+#: Synthetic terminal node names bracketing every path (the paper draws
+#: every data flow graph from kalloc() to kfree()).
+ALLOC_NODE = "kalloc"
+FREE_NODE = "kfree"
+
+
+@dataclass
+class FlowNode:
+    """One function in the flow graph."""
+
+    name: str
+    visits: int = 0
+    latency: OnlineStats = field(default_factory=OnlineStats)
+
+    @property
+    def mean_latency(self) -> float:
+        """Average access latency observed at this function."""
+        return self.latency.mean if self.latency.count else 0.0
+
+
+@dataclass
+class FlowEdge:
+    """A transition between two functions."""
+
+    src: str
+    dst: str
+    count: int = 0
+    cpu_change: bool = False
+
+
+class DataFlowView:
+    """The merged per-type flow graph."""
+
+    def __init__(self, type_name: str, traces: list[PathTrace]) -> None:
+        self.type_name = type_name
+        self.nodes: dict[str, FlowNode] = {}
+        self.edges: dict[tuple[str, str], FlowEdge] = {}
+        self._build(traces)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _node(self, name: str) -> FlowNode:
+        node = self.nodes.get(name)
+        if node is None:
+            node = FlowNode(name)
+            self.nodes[name] = node
+        return node
+
+    def _edge(self, src: str, dst: str) -> FlowEdge:
+        edge = self.edges.get((src, dst))
+        if edge is None:
+            edge = FlowEdge(src, dst)
+            self.edges[(src, dst)] = edge
+        return edge
+
+    def _build(self, traces: list[PathTrace]) -> None:
+        self._node(ALLOC_NODE)
+        self._node(FREE_NODE)
+        for trace in traces:
+            prev = ALLOC_NODE
+            self.nodes[ALLOC_NODE].visits += trace.frequency
+            for entry in trace.entries:
+                node = self._node(entry.fn)
+                node.visits += trace.frequency
+                if entry.mean_latency > 0:
+                    node.latency.add(entry.mean_latency)
+                if entry.fn != prev:
+                    edge = self._edge(prev, entry.fn)
+                    edge.count += trace.frequency
+                    edge.cpu_change = edge.cpu_change or entry.cpu_changed
+                elif entry.cpu_changed:
+                    # Same function on a different core: a self-transition
+                    # still marks a CPU change worth surfacing.
+                    edge = self._edge(prev, entry.fn)
+                    edge.count += trace.frequency
+                    edge.cpu_change = True
+                prev = entry.fn
+            edge = self._edge(prev, FREE_NODE)
+            edge.count += trace.frequency
+            self.nodes[FREE_NODE].visits += trace.frequency
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def cpu_change_edges(self) -> list[FlowEdge]:
+        """Edges where objects move between cores (the bold lines)."""
+        return [e for e in self.edges.values() if e.cpu_change]
+
+    def hot_nodes(self, latency_threshold: float = 100.0) -> list[FlowNode]:
+        """Functions with expensive average accesses (the dark boxes)."""
+        return [
+            n
+            for n in self.nodes.values()
+            if n.latency.count and n.mean_latency >= latency_threshold
+        ]
+
+    def successors(self, name: str) -> list[FlowEdge]:
+        """Outgoing edges of one function, heaviest first."""
+        out = [e for e in self.edges.values() if e.src == name]
+        return sorted(out, key=lambda e: e.count, reverse=True)
+
+    def functions_before(self, name: str) -> set[str]:
+        """Every function reachable backwards from *name*.
+
+        This is the search-narrowing move from the case study: "we only
+        need to look at functions above pfifo_fast_enqueue to find why
+        packets are not placed on the local queue".
+        """
+        preds: dict[str, set[str]] = {}
+        for edge in self.edges.values():
+            preds.setdefault(edge.dst, set()).add(edge.src)
+        seen: set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for parent in preds.get(current, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def to_dot(self, latency_threshold: float = 100.0) -> str:
+        """Graphviz rendering: bold cross-CPU edges, shaded hot nodes."""
+        lines = [f'digraph "{self.type_name}" {{', "  rankdir=TB;"]
+        for node in self.nodes.values():
+            attrs = [f'label="{node.name}\\n({node.visits})"']
+            if node.latency.count and node.mean_latency >= latency_threshold:
+                attrs.append('style=filled fillcolor="gray55"')
+            lines.append(f'  "{node.name}" [{" ".join(attrs)}];')
+        for edge in self.edges.values():
+            attrs = [f'label="{edge.count}"']
+            if edge.cpu_change:
+                attrs.append("penwidth=3")
+            lines.append(f'  "{edge.src}" -> "{edge.dst}" [{" ".join(attrs)}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def render_text(self, latency_threshold: float = 100.0) -> str:
+        """Terminal rendering: '==>' marks cross-CPU edges, '[HOT]' nodes."""
+        lines = [f"Data flow view for {self.type_name}:"]
+        ordered = sorted(self.edges.values(), key=lambda e: e.count, reverse=True)
+        for edge in ordered:
+            arrow = "==CPU==>" if edge.cpu_change else "-------->"
+            dst_node = self.nodes[edge.dst]
+            hot = (
+                " [HOT]"
+                if dst_node.latency.count
+                and dst_node.mean_latency >= latency_threshold
+                else ""
+            )
+            lines.append(f"  {edge.src} {arrow} {edge.dst}{hot}  x{edge.count}")
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""The data profile view: types ranked by cache-miss share (Section 4.1).
+
+"The highest level view consists of a data profile: a list of data type
+names, sorted by the total number of cache misses that objects of each
+type suffered", plus a flag showing whether objects of the type ever
+bounce between cores.  The rendered table matches the layout of the
+thesis's Tables 6.1, 6.4, and 6.5 (working set size, % of all L1 misses,
+bounce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.tables import TextTable, format_bytes, format_percent
+
+
+@dataclass
+class DataProfileRow:
+    """One type's row in the data profile."""
+
+    type_name: str
+    description: str
+    working_set_bytes: float
+    miss_share: float
+    bounce: bool
+    sample_count: int = 0
+
+
+class DataProfileView:
+    """The ranked data profile plus its table rendering."""
+
+    def __init__(self, rows: list[DataProfileRow], total_l1_misses: int) -> None:
+        self.rows = sorted(rows, key=lambda r: r.miss_share, reverse=True)
+        self.total_l1_misses = total_l1_misses
+
+    def top(self, n: int) -> list[DataProfileRow]:
+        """The *n* types with the largest miss share."""
+        return self.rows[:n]
+
+    def row_for(self, type_name: str) -> DataProfileRow | None:
+        """Find one type's row, if present."""
+        for row in self.rows:
+            if row.type_name == type_name:
+                return row
+        return None
+
+    def covered_share(self, n: int) -> float:
+        """Total miss share of the top *n* rows (the tables' Total line)."""
+        return sum(r.miss_share for r in self.rows[:n])
+
+    def render(self, n: int = 10) -> str:
+        """Render in the thesis's Table 6.1 layout."""
+        table = TextTable(
+            ["Type name", "Description", "Working Set Size", "% of all L1 misses", "Bounce"],
+            title="Data profile view",
+        )
+        for row in self.top(n):
+            table.add_row(
+                row.type_name,
+                row.description,
+                format_bytes(row.working_set_bytes),
+                format_percent(row.miss_share),
+                "yes" if row.bounce else "no",
+            )
+        shown = self.top(n)
+        table.add_row(
+            "Total",
+            "",
+            format_bytes(sum(r.working_set_bytes for r in shown)),
+            format_percent(self.covered_share(n)),
+            "-",
+        )
+        return table.render()

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid (bad geometry, bad rate, ...)."""
+
+
+class SimulationError(ReproError):
+    """The simulated machine reached an inconsistent state."""
+
+
+class AllocationError(ReproError):
+    """The simulated allocator could not satisfy a request."""
+
+
+class ResolveError(ReproError):
+    """An address could not be resolved to a data type."""
+
+
+class ProfilingError(ReproError):
+    """A profiling session was misused (not started, already attached, ...)."""

@@ -1,0 +1,16 @@
+"""The two case-study fixes from the paper's evaluation.
+
+- :mod:`repro.fixes.txqueue` -- local TX-queue selection for the NIC
+  driver (Section 6.1: +57% memcached throughput);
+- :mod:`repro.fixes.admission` -- accept-queue admission control
+  (Section 6.2: +16% Apache throughput at the drop-off load).
+"""
+
+from repro.fixes.txqueue import install_local_queue_selection, ixgbe_select_queue
+from repro.fixes.admission import apply_admission_control
+
+__all__ = [
+    "install_local_queue_selection",
+    "ixgbe_select_queue",
+    "apply_admission_control",
+]

@@ -1,0 +1,33 @@
+"""Fix 1: local TX-queue selection (paper Section 6.1).
+
+"The problem is that the IXGBE driver does not provide its own custom
+queue selection function that overrides the suboptimal default. [...]
+Implementing a local queue selection function increased performance by 57%
+and eliminated all lock contention."
+
+The fix installs exactly that driver hook: pick the TX queue owned by the
+core doing the transmit, so packets are enqueued, dequeued, transmitted,
+and *freed* on the same core -- no qdisc-lock contention, no cross-core
+payload transfers, no SLAB alien frees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.kernel.net.netdevice import NetDevice
+from repro.kernel.net.skbuff import SkBuff
+
+
+def ixgbe_select_queue(stack, cpu: int, dev: NetDevice, skb: SkBuff) -> Iterator:
+    """Driver queue-selection hook: always the current core's own queue."""
+    env = stack.env
+    fn = "ixgbe_select_queue"
+    yield env.read(fn, dev.obj, "num_tx_queues")
+    yield env.work(fn, 2, site="smp_processor_id")
+    return cpu % dev.num_queues
+
+
+def install_local_queue_selection(dev: NetDevice) -> None:
+    """Install the fix on a device (replaces the skb_tx_hash default)."""
+    dev.select_queue = ixgbe_select_queue

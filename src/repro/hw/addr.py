@@ -1,0 +1,53 @@
+"""Address arithmetic: cache lines and associativity sets.
+
+All simulated addresses are plain integers in a flat physical address
+space.  A *line* is identified by ``addr // line_size``; an associativity
+set by ``line % num_sets``.  DProf's working-set view (Section 4.2) needs
+exactly this mapping to build its associativity-set histogram, so the same
+helpers are reused by both the hardware model and the profiler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+PAGE_SIZE = 4096
+
+
+def line_of(addr: int, line_size: int) -> int:
+    """Cache line index containing *addr*."""
+    return addr // line_size
+
+
+def line_base(addr: int, line_size: int) -> int:
+    """First byte address of the line containing *addr*."""
+    return (addr // line_size) * line_size
+
+
+def lines_spanned(addr: int, size: int, line_size: int) -> Iterator[int]:
+    """Yield every line index touched by the range [addr, addr+size).
+
+    A zero-byte access still touches the line containing *addr*, which
+    matches how debug-register watchpoints behave.
+    """
+    first = addr // line_size
+    last = (addr + max(size, 1) - 1) // line_size
+    for line in range(first, last + 1):
+        yield line
+
+
+def set_index(line: int, num_sets: int) -> int:
+    """Associativity set a line maps to."""
+    return line % num_sets
+
+
+def page_of(addr: int) -> int:
+    """Page number containing *addr* (4 KiB pages)."""
+    return addr // PAGE_SIZE
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round *addr* up to the next multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (addr + alignment - 1) // alignment * alignment

@@ -1,0 +1,52 @@
+"""Flat physical address space with a bump region allocator.
+
+The simulation never stores data values -- only addresses matter, because
+caches, coherence, and DProf all operate on addresses and types.  The
+address space hands out non-overlapping regions to the kernel's allocators
+and to statically-allocated objects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.hw.addr import align_up
+
+#: Regions start well above zero so that address 0 can mean "no address".
+BASE_ADDRESS = 0x100000
+
+
+class AddressSpace:
+    """Hands out non-overlapping address regions, bump-pointer style."""
+
+    def __init__(self, base: int = BASE_ADDRESS, limit: int | None = None) -> None:
+        self.base = base
+        self.limit = limit
+        self._next = base
+        self.regions: list[tuple[int, int, str]] = []
+
+    def alloc_region(self, size: int, align: int = 64, label: str = "") -> int:
+        """Reserve *size* bytes aligned to *align*; returns the base address."""
+        if size <= 0:
+            raise AllocationError(f"region size must be positive, got {size}")
+        start = align_up(self._next, align)
+        end = start + size
+        if self.limit is not None and end > self.limit:
+            raise AllocationError(
+                f"address space exhausted: need {size} bytes at {start:#x}, "
+                f"limit {self.limit:#x}"
+            )
+        self._next = end
+        self.regions.append((start, size, label))
+        return start
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Total bytes handed out so far (including alignment padding)."""
+        return self._next - self.base
+
+    def region_containing(self, addr: int) -> tuple[int, int, str] | None:
+        """Find the (base, size, label) region containing *addr*, if any."""
+        for start, size, label in self.regions:
+            if start <= addr < start + size:
+                return (start, size, label)
+        return None

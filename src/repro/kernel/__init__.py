@@ -1,0 +1,26 @@
+"""Simulated Linux-like kernel substrate.
+
+DProf profiles the *kernel's* data structures: the paper's case studies are
+about skbuffs, tcp_socks, SLAB bookkeeping, and qdisc queues inside Linux.
+This package provides a small but faithful kernel substrate for the
+simulated machine:
+
+- :mod:`repro.kernel.symbols` -- function-name <-> instruction-pointer map.
+- :mod:`repro.kernel.layout` -- C-style struct layout (types, fields,
+  offsets), the vocabulary DProf attributes misses to.
+- :mod:`repro.kernel.kenv` -- the instruction-emission DSL kernel code is
+  written in.
+- :mod:`repro.kernel.slab` -- typed SLAB allocator with per-core array
+  caches and alien-cache handling, plus the address-to-type metadata DProf's
+  resolver consumes.
+- :mod:`repro.kernel.locks` / :mod:`repro.kernel.lockstat` -- spinlocks
+  with lock-statistics collection (the paper's lock-stat comparison tool).
+- :mod:`repro.kernel.net` -- skbuff / qdisc / NIC / UDP / TCP stack used by
+  the memcached and Apache case studies.
+"""
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.layout import StructType
+from repro.kernel.symbols import SymbolTable
+
+__all__ = ["Kernel", "StructType", "SymbolTable"]

@@ -1,0 +1,130 @@
+"""C-style struct layout: the type/offset vocabulary DProf reports in.
+
+DProf assumes C-style data types "whose objects are contiguous in memory,
+and whose fields are located at well-known offsets from the top-level
+object's base address" (Section 5.2).  :class:`StructType` captures exactly
+that: an ordered list of named fields with sizes, laid out sequentially
+with natural alignment, optionally padded to a fixed object size (kernel
+slab objects are padded -- an skbuff slab object is 256 bytes even if its
+fields need less).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Field:
+    """One struct member: its name, byte offset, and size."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """Offset one past the field's last byte."""
+        return self.offset + self.size
+
+
+class StructType:
+    """A named C-style struct: ordered fields at computed offsets."""
+
+    def __init__(
+        self,
+        name: str,
+        fields: list[tuple[str, int]],
+        object_size: int | None = None,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.fields: dict[str, Field] = {}
+        self._ordered: list[Field] = []
+        offset = 0
+        for fname, fsize in fields:
+            if fsize <= 0:
+                raise ConfigError(f"{name}.{fname}: field size must be positive")
+            if fname in self.fields:
+                raise ConfigError(f"{name}: duplicate field {fname}")
+            # Natural alignment up to 8 bytes, like a C compiler would.
+            align = min(8, fsize) if fsize in (1, 2, 4, 8) else 8
+            offset = (offset + align - 1) // align * align
+            field = Field(fname, offset, fsize)
+            self.fields[fname] = field
+            self._ordered.append(field)
+            offset += fsize
+        self.size = object_size if object_size is not None else offset
+        if self.size < offset:
+            raise ConfigError(
+                f"{name}: object_size {object_size} smaller than fields ({offset})"
+            )
+
+    def field(self, name: str) -> Field:
+        """Look up a field by name."""
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise ConfigError(f"{self.name} has no field {name!r}") from None
+
+    def field_at(self, offset: int) -> Field | None:
+        """The field covering byte *offset*, or None for padding bytes."""
+        for field in self._ordered:
+            if field.offset <= offset < field.end:
+                return field
+        return None
+
+    def ordered_fields(self) -> list[Field]:
+        """Fields in declaration order."""
+        return list(self._ordered)
+
+    def __repr__(self) -> str:
+        return f"StructType({self.name}, {self.size}B, {len(self._ordered)} fields)"
+
+
+class KObject:
+    """A live (or recycled) kernel object: a typed region of memory.
+
+    Created by the slab allocator.  ``home_cpu`` is the core that allocated
+    the object -- freeing on a different core takes the SLAB alien path,
+    one of the cache-bouncing behaviours the memcached case study exposes.
+    """
+
+    __slots__ = ("otype", "base", "home_cpu", "alive", "alloc_cycle", "free_cycle", "cookie")
+
+    def __init__(self, otype: StructType, base: int) -> None:
+        self.otype = otype
+        self.base = base
+        self.home_cpu = -1
+        self.alive = False
+        self.alloc_cycle = 0
+        self.free_cycle = 0
+        #: Incremented on every reallocation so stale references are
+        #: detectable (an address may be recycled to a new logical object).
+        self.cookie = 0
+
+    def field_addr(self, name: str) -> tuple[int, int]:
+        """(address, size) of a named field of this object."""
+        field = self.otype.field(name)
+        return (self.base + field.offset, field.size)
+
+    def offset_addr(self, offset: int, size: int) -> tuple[int, int]:
+        """(address, size) of a raw [offset, offset+size) range."""
+        if offset < 0 or offset + size > self.otype.size:
+            raise ConfigError(
+                f"range [{offset}, {offset + size}) outside {self.otype.name} "
+                f"({self.otype.size}B)"
+            )
+        return (self.base + offset, size)
+
+    @property
+    def end(self) -> int:
+        """Address one past the object's last byte."""
+        return self.base + self.otype.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.alive else "free"
+        return f"KObject({self.otype.name}@{self.base:#x}, {state})"

@@ -1,0 +1,51 @@
+"""Simulated Linux network stack.
+
+Implements the kernel paths the paper's two case studies run through:
+
+- RX: ``ixgbe_clean_rx_irq`` -> ``eth_type_trans`` -> ``ip_rcv`` ->
+  UDP/TCP demux into sockets (one NIC RX queue pinned per core);
+- TX: ``dev_queue_xmit`` -> TX-queue selection (``skb_tx_hash`` by default,
+  the root cause of the memcached bottleneck) -> ``pfifo_fast_enqueue`` ->
+  the owning core's ``__qdisc_run`` -> ``dev_hard_start_xmit`` ->
+  ``ixgbe_xmit_frame`` -> completion and skb free;
+- UDP sockets (memcached) and TCP listen/accept queues (Apache).
+
+All packet memory is real simulated memory: skbuffs and payloads are slab
+objects, queues and devices are typed structures, and locks are fields of
+those structures -- so the cache-line traffic DProf observes is generated
+mechanically by the same design decisions the real kernel made.
+"""
+
+from repro.kernel.net.types import (
+    EVENTPOLL_TYPE,
+    FUTEX_TYPE,
+    IXGBE_RING_TYPE,
+    NET_DEVICE_TYPE,
+    QDISC_TYPE,
+    SIZE_1024_TYPE,
+    SKBUFF_FCLONE_TYPE,
+    SKBUFF_TYPE,
+    TASK_STRUCT_TYPE,
+    TCP_SOCK_TYPE,
+    UDP_SOCK_TYPE,
+)
+from repro.kernel.net.skbuff import SkBuff
+from repro.kernel.net.netdevice import NetDevice
+from repro.kernel.net.stack import NetStack
+
+__all__ = [
+    "EVENTPOLL_TYPE",
+    "FUTEX_TYPE",
+    "IXGBE_RING_TYPE",
+    "NET_DEVICE_TYPE",
+    "QDISC_TYPE",
+    "SIZE_1024_TYPE",
+    "SKBUFF_FCLONE_TYPE",
+    "SKBUFF_TYPE",
+    "TASK_STRUCT_TYPE",
+    "TCP_SOCK_TYPE",
+    "UDP_SOCK_TYPE",
+    "SkBuff",
+    "NetDevice",
+    "NetStack",
+]

@@ -1,0 +1,166 @@
+"""The multiqueue NIC and the transmit path.
+
+Models the paper's Intel IXGBE 10 GbE card: 16 TX and 16 RX queues, each
+RX queue interrupting one specific core (the testbed steered each load
+generator's flows to a different core).  The transmit path is where the
+memcached case study's bug lives: without a driver-provided
+``select_queue`` function, ``dev_queue_xmit`` falls back to
+``skb_tx_hash``, which picks a TX queue by hashing packet contents -- on
+the memcached workload that is usually a *remote* queue, so the packet's
+cache lines (payload, skbuff, qdisc) all migrate to the owning core.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from repro.kernel.net.qdisc import Qdisc, pfifo_fast_dequeue, pfifo_fast_enqueue
+from repro.kernel.net.skbuff import SkBuff, dev_kfree_skb_irq, skb_dma_map
+from repro.kernel.net.types import IXGBE_RING_TYPE, NET_DEVICE_TYPE
+
+#: Signature of a driver queue-selection override (the case-study fix).
+SelectQueue = Callable[["NetStackLike", int, "NetDevice", SkBuff], int]
+
+
+class TxQueue:
+    """One hardware TX queue: descriptor ring + qdisc + completion list."""
+
+    def __init__(self, stack, index: int, owner_cpu: int) -> None:
+        self.index = index
+        self.owner_cpu = owner_cpu
+        self.ring = stack.slab.new_static(IXGBE_RING_TYPE, f"tx_ring.{index}")
+        self.qdisc = Qdisc(stack, index)
+        self.completions: deque[SkBuff] = deque()
+
+
+class RxQueue:
+    """One hardware RX queue: descriptor ring + pending arrivals."""
+
+    def __init__(self, stack, index: int, owner_cpu: int) -> None:
+        self.index = index
+        self.owner_cpu = owner_cpu
+        self.ring = stack.slab.new_static(IXGBE_RING_TYPE, f"rx_ring.{index}")
+        #: Arrival descriptors pushed by the workload's load generator.
+        self.arrivals: deque = deque()
+
+
+class NetDevice:
+    """An IXGBE-like device: one queue pair per core by default."""
+
+    def __init__(self, stack, num_queues: int) -> None:
+        self.obj = stack.slab.new_static(NET_DEVICE_TYPE, "net_device.eth0")
+        self.num_queues = num_queues
+        self.tx_queues = [TxQueue(stack, i, i) for i in range(num_queues)]
+        self.rx_queues = [RxQueue(stack, i, i) for i in range(num_queues)]
+        #: Driver queue-selection override; None means the kernel default
+        #: (``skb_tx_hash``).  Installing a local-queue policy here is the
+        #: memcached case-study fix (Section 6.1).
+        self.select_queue: SelectQueue | None = None
+        self.tx_count = 0
+        self.rx_count = 0
+
+
+def skb_tx_hash(stack, cpu: int, dev: NetDevice, skb: SkBuff) -> Iterator:
+    """``skb_tx_hash``: default TX queue choice, by flow hash.
+
+    Balances transmit load across all queues -- which for per-core request
+    loops means the chosen queue is usually on a *different* core than the
+    one processing the request.
+    """
+    env = stack.env
+    fn = "skb_tx_hash"
+    yield env.read(fn, skb.obj, "hash")
+    yield env.read(fn, dev.obj, "num_tx_queues")
+    yield env.work(fn, 6, site="hash")
+    return skb.flow_hash % dev.num_queues
+
+
+def dev_queue_xmit(stack, cpu: int, dev: NetDevice, skb: SkBuff) -> Iterator:
+    """``dev_queue_xmit``: pick a TX queue and enqueue under the Qdisc lock."""
+    env = stack.env
+    fn = "dev_queue_xmit"
+    yield env.read(fn, skb.obj, "len")
+    yield env.read(fn, dev.obj, "flags")
+    if dev.select_queue is not None:
+        queue_index = yield from dev.select_queue(stack, cpu, dev, skb)
+    else:
+        queue_index = yield from skb_tx_hash(stack, cpu, dev, skb)
+    yield env.write(fn, skb.obj, "queue_mapping")
+    txq = dev.tx_queues[queue_index]
+    yield from txq.qdisc.lock.acquire(env, fn, cpu)
+    yield from pfifo_fast_enqueue(stack, cpu, txq.qdisc, skb)
+    yield from txq.qdisc.lock.release(env, fn, cpu)
+
+
+def qdisc_run(stack, cpu: int, dev: NetDevice, txq: TxQueue) -> Iterator:
+    """``__qdisc_run``: dequeue one packet and hand it to the driver.
+
+    Returns True when a packet was transmitted, False on an empty queue.
+    """
+    env = stack.env
+    fn = "__qdisc_run"
+    yield from txq.qdisc.lock.acquire(env, fn, cpu)
+    skb = yield from pfifo_fast_dequeue(stack, cpu, txq.qdisc)
+    yield from txq.qdisc.lock.release(env, fn, cpu)
+    if skb is None:
+        return False
+    yield from dev_hard_start_xmit(stack, cpu, dev, txq, skb)
+    return True
+
+
+def dev_hard_start_xmit(
+    stack, cpu: int, dev: NetDevice, txq: TxQueue, skb: SkBuff
+) -> Iterator:
+    """``dev_hard_start_xmit``: driver entry for one packet."""
+    env = stack.env
+    fn = "dev_hard_start_xmit"
+    yield env.read(fn, skb.obj, "len")
+    yield env.read(fn, skb.obj, "data")
+    yield from ixgbe_xmit_frame(stack, cpu, dev, txq, skb)
+
+
+def ixgbe_xmit_frame(
+    stack, cpu: int, dev: NetDevice, txq: TxQueue, skb: SkBuff
+) -> Iterator:
+    """``ixgbe_xmit_frame``: fill a descriptor and bump device stats.
+
+    The statistics stores on the single shared ``net_device`` object are
+    what make that 128-byte structure both miss-heavy and bouncing in the
+    paper's data profiles (Tables 6.1, 6.4, 6.5).
+    """
+    env = stack.env
+    fn = "ixgbe_xmit_frame"
+    yield from skb_dma_map(stack, cpu, skb)
+    yield env.read(fn, txq.ring, "next_to_use")
+    yield env.write(fn, txq.ring, "next_to_use")
+    yield env.write(fn, txq.ring, "tail_register")
+    yield env.write(fn, dev.obj, "tx_packets")
+    yield env.write(fn, dev.obj, "tx_bytes")
+    dev.tx_count += 1
+    txq.completions.append(skb)
+
+
+def ixgbe_clean_tx_irq(stack, cpu: int, dev: NetDevice, txq: TxQueue) -> Iterator:
+    """``ixgbe_clean_tx_irq``: reap completed transmits and free packets.
+
+    Runs on the queue's owner core.  For packets enqueued from a different
+    core this is where the skbuff and its payload are freed *remotely*,
+    sending them down the SLAB alien path -- the cross-core churn visible
+    in the memcached data profile.
+    """
+    env = stack.env
+    fn = "ixgbe_clean_tx_irq"
+    cleaned = 0
+    while txq.completions:
+        skb = txq.completions.popleft()
+        yield env.read(fn, txq.ring, "next_to_clean")
+        yield env.write(fn, txq.ring, "next_to_clean")
+        yield env.write(fn, txq.ring, "stats_packets")
+        sock = skb.sock
+        yield from dev_kfree_skb_irq(stack, cpu, skb)
+        if sock is not None:
+            yield from sock.write_space(stack, cpu)
+        stack.on_tx_complete(skb, cpu)
+        cleaned += 1
+    return cleaned

@@ -1,0 +1,66 @@
+"""pfifo_fast packet scheduler queues.
+
+One :class:`Qdisc` guards each NIC TX queue.  The memcached case study's
+smoking gun (Figure 6-1) is skbuffs crossing cores between
+``pfifo_fast_enqueue`` and ``pfifo_fast_dequeue``: the submitting core
+enqueues, but the queue's *owner* core dequeues, so whenever the default
+``skb_tx_hash`` picks a remote queue, every line of the packet crosses the
+interconnect right here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.kernel.locks import SpinLock
+from repro.kernel.net.skbuff import SkBuff
+from repro.kernel.net.types import QDISC_TYPE
+
+
+class Qdisc:
+    """A pfifo_fast queue: a typed object, its lock, and the skb list."""
+
+    def __init__(self, stack, index: int) -> None:
+        self.index = index
+        self.obj = stack.slab.new_static(QDISC_TYPE, f"qdisc.{index}")
+        # All qdisc instances share the "Qdisc lock" class name, matching
+        # how Linux lock-stat aggregates by lock class (Table 6.2).
+        self.lock = SpinLock("Qdisc lock", self.obj, "lock", stack.lockstat)
+        self.skbs: deque[SkBuff] = deque()
+
+    def __len__(self) -> int:
+        return len(self.skbs)
+
+
+def pfifo_fast_enqueue(stack, cpu: int, qdisc: Qdisc, skb: SkBuff) -> Iterator:
+    """``pfifo_fast_enqueue``: link the skb onto the queue tail.
+
+    Caller must hold ``qdisc.lock``.
+    """
+    env = stack.env
+    fn = "pfifo_fast_enqueue"
+    yield env.write(fn, skb.obj, "next")
+    yield env.read(fn, qdisc.obj, "tail")
+    yield env.write(fn, qdisc.obj, "tail")
+    yield env.read(fn, qdisc.obj, "qlen")
+    yield env.write(fn, qdisc.obj, "qlen")
+    qdisc.skbs.append(skb)
+
+
+def pfifo_fast_dequeue(stack, cpu: int, qdisc: Qdisc) -> Iterator:
+    """``pfifo_fast_dequeue``: unlink the head skb; returns it or None.
+
+    Caller must hold ``qdisc.lock``.
+    """
+    env = stack.env
+    fn = "pfifo_fast_dequeue"
+    yield env.read(fn, qdisc.obj, "head")
+    if not qdisc.skbs:
+        return None
+    skb = qdisc.skbs.popleft()
+    yield env.read(fn, skb.obj, "next")
+    yield env.write(fn, qdisc.obj, "head")
+    yield env.read(fn, qdisc.obj, "qlen")
+    yield env.write(fn, qdisc.obj, "qlen")
+    return skb

@@ -1,0 +1,224 @@
+"""TCP listen/accept machinery: the Apache case study's transport.
+
+The Apache bottleneck (Section 6.2) is a *working set* problem: each
+instance lets many connections pile up on its accept queue, and by the
+time Apache accepts one, the ``tcp_sock``'s cache lines have been flushed
+from the caches close to the core -- average access latency tripled and
+the live ``tcp_sock`` working set grew by an order of magnitude
+(Tables 6.4 vs 6.5).  This module provides the pieces that make that
+happen mechanically: connection setup allocates a 1600-byte ``tcp_sock``,
+the accept queue (bounded only by the configured backlog) delays its next
+use, and accept/recv/send walk enough of the structure to feel the misses.
+
+TCP responses hash to the flow's own RX queue (consistent flow hashing),
+so unlike memcached's UDP responses they stay core-local -- matching the
+paper's Tables 6.4/6.5 where skbuff and payload do *not* bounce.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.kernel.layout import KObject
+from repro.kernel.locks import SpinLock
+from repro.kernel.net.skbuff import (
+    SkBuff,
+    alloc_skb,
+    kfree_skb,
+    skb_copy_datagram_iovec,
+    skb_put,
+)
+from repro.kernel.net.types import LISTEN_SOCK_TYPE
+from repro.kernel.net.wakeup import EventPoll, ep_poll_callback, WaitQueue
+
+#: Offsets sampled when code "walks" a tcp_sock: real TCP code touches
+#: state spread across the whole 1600-byte structure (icsk, tcp, and
+#: socket sections), so accesses span multiple cache lines.
+TCP_SOCK_SECTIONS = (0, 384, 768, 1152, 1536)
+
+
+class ListenSock:
+    """A listening TCP socket with its bounded accept queue."""
+
+    def __init__(self, stack, cpu: int, port: int, backlog: int) -> None:
+        self.stack = stack
+        self.cpu = cpu
+        self.port = port
+        self.backlog = backlog
+        self.obj = stack.slab.new_static(LISTEN_SOCK_TYPE, f"listen.{port}")
+        self.lock = SpinLock("accept queue lock", self.obj, "lock", stack.lockstat)
+        self.accept_queue: deque[TcpConn] = deque()
+        self.wq = WaitQueue(stack, f"listen.{port}")
+        self.epoll: EventPoll | None = None
+        self.accepted = 0
+        self.dropped = 0
+
+
+class TcpConn:
+    """An established connection: its tcp_sock object + pending request."""
+
+    __slots__ = ("obj", "request", "flow_hash", "enqueue_cycle", "accept_cycle", "meta")
+
+    def __init__(self, obj: KObject, request: SkBuff, flow_hash: int) -> None:
+        self.obj = obj
+        self.request = request
+        self.flow_hash = flow_hash
+        self.enqueue_cycle = 0
+        self.accept_cycle = 0
+        self.meta: dict = {}
+
+    def write_space(self, stack, cpu: int) -> Iterator:
+        """``sock_def_write_space`` for an established TCP socket."""
+        env = stack.env
+        fn = "sock_def_write_space"
+        yield env.read(fn, self.obj, "wmem_alloc")
+        yield env.write(fn, self.obj, "wmem_alloc")
+
+
+def tcp_v4_rcv(
+    stack, cpu: int, listener: ListenSock, skb: SkBuff, flow_hash: int
+) -> Iterator:
+    """``tcp_v4_rcv``: handle a new connection carrying its request.
+
+    Models connection establishment collapsed into one packet: allocates
+    the ``tcp_sock``, initializes it, and queues it (with the request skb)
+    on the listener's accept queue.  Returns the new connection, or None
+    when the backlog is full and the connection is dropped.
+    """
+    env = stack.env
+    fn = "tcp_v4_rcv"
+    yield env.read(fn, listener.obj, "port")
+    yield env.read(fn, listener.obj, "qlen")
+    yield env.read(fn, listener.obj, "backlog")
+    if len(listener.accept_queue) >= listener.backlog:
+        listener.dropped += 1
+        yield from kfree_skb(stack, cpu, skb)
+        return None
+
+    alloc_fn = "tcp_v4_syn_recv_sock"
+    obj = yield from stack.tcp_sock_cache.alloc(cpu)
+    conn = TcpConn(obj, skb, flow_hash)
+    conn.enqueue_cycle = env.cycle(cpu)
+    yield env.write(alloc_fn, obj, "state")
+    yield env.write(alloc_fn, obj, "saddr")
+    yield env.write(alloc_fn, obj, "daddr")
+    yield env.write(alloc_fn, obj, "sport")
+    yield env.write(alloc_fn, obj, "dport")
+    yield env.write(alloc_fn, obj, "rcv_nxt")
+    yield env.write(alloc_fn, obj, "snd_nxt")
+    yield env.write(alloc_fn, obj, "window")
+    # Initialization touches the whole structure (memset + icsk setup).
+    for offset in TCP_SOCK_SECTIONS:
+        yield env.write_range(alloc_fn, obj, offset, 8)
+    yield env.write(fn, skb.obj, "sk")
+
+    yield from listener.lock.acquire(env, fn, cpu)
+    yield env.write(fn, listener.obj, "accept_tail")
+    yield env.write(fn, listener.obj, "qlen")
+    listener.accept_queue.append(conn)
+    yield from listener.lock.release(env, fn, cpu)
+    if listener.epoll is not None:
+        yield from ep_poll_callback(stack, cpu, listener.epoll, listener)
+    return conn
+
+
+def inet_csk_accept(stack, cpu: int, listener: ListenSock) -> Iterator:
+    """``inet_csk_accept``: pop the next established connection.
+
+    Returns the connection or None.  The reads of the connection's
+    ``tcp_sock`` here are the ones whose latency explodes in the drop-off
+    case: the longer the connection waited, the colder its lines.
+    """
+    env = stack.env
+    fn = "inet_csk_accept"
+    yield from listener.lock.acquire(env, fn, cpu)
+    yield env.read(fn, listener.obj, "accept_head")
+    if not listener.accept_queue:
+        yield from listener.lock.release(env, fn, cpu)
+        return None
+    conn = listener.accept_queue.popleft()
+    yield env.write(fn, listener.obj, "accept_head")
+    yield env.write(fn, listener.obj, "qlen")
+    yield from listener.lock.release(env, fn, cpu)
+    listener.accepted += 1
+    conn.accept_cycle = env.cycle(cpu)
+    yield env.read(fn, conn.obj, "state")
+    yield env.write(fn, conn.obj, "state")
+    yield env.read(fn, conn.obj, "saddr")
+    yield env.read(fn, conn.obj, "dport")
+    for offset in TCP_SOCK_SECTIONS:
+        yield env.read_range(fn, conn.obj, offset, 8)
+    return conn
+
+
+def tcp_recvmsg(stack, cpu: int, conn: TcpConn) -> Iterator:
+    """``tcp_recvmsg``: copy the pending request out and free it."""
+    env = stack.env
+    fn = "tcp_recvmsg"
+    yield env.read(fn, conn.obj, "state")
+    yield env.read(fn, conn.obj, "receive_queue_head")
+    yield env.read(fn, conn.obj, "rcv_nxt")
+    yield env.write(fn, conn.obj, "copied_seq")
+    skb = conn.request
+    if skb is None:
+        return None
+    conn.request = None
+    yield from skb_copy_datagram_iovec(stack, cpu, skb, skb.length)
+    yield env.write(fn, conn.obj, "rmem_alloc")
+    yield from kfree_skb(stack, cpu, skb)
+    return skb
+
+
+def tcp_sendmsg(
+    stack, cpu: int, conn: TcpConn, length: int, file_obj: KObject
+) -> Iterator:
+    """``tcp_sendmsg``: build the response from the mmap'd file and send.
+
+    Uses a fast-clone skbuff (TCP keeps a clone for retransmission), which
+    is why ``skbuff_fclone`` appears in the Apache overhead tables.
+    """
+    env = stack.env
+    fn = "tcp_sendmsg"
+    yield env.read(fn, conn.obj, "state")
+    yield env.read(fn, conn.obj, "wmem_alloc")
+    skb = yield from alloc_skb(stack, cpu, length, fclone=True)
+    skb.sock = conn
+    skb.flow_hash = conn.flow_hash
+    yield env.write(fn, skb.obj, "sk")
+    yield env.write(fn, skb.obj, "hash")
+    # Copy the served file into the payload, line by line.
+    copy_fn = "copy_user_generic_string"
+    pos = 0
+    while pos < length:
+        size = min(8, length - pos)
+        yield env.read_range(copy_fn, file_obj, pos % file_obj.otype.size, size)
+        yield env.write_range(copy_fn, skb.payload, pos, size, work=2)
+        pos += env.BULK_STRIDE
+    yield from skb_put(stack, cpu, skb, length)
+    yield env.write(fn, conn.obj, "wmem_alloc")
+    yield from tcp_transmit_skb(stack, cpu, conn, skb)
+    return skb
+
+
+def tcp_transmit_skb(stack, cpu: int, conn: TcpConn, skb: SkBuff) -> Iterator:
+    """``tcp_transmit_skb``: stamp sequence numbers and hand to the device."""
+    env = stack.env
+    fn = "tcp_transmit_skb"
+    yield env.read(fn, conn.obj, "snd_nxt")
+    yield env.write(fn, conn.obj, "snd_nxt")
+    yield env.write(fn, conn.obj, "snd_una")
+    yield env.write(fn, conn.obj, "write_queue_tail")
+    yield from stack.dev_queue_xmit(cpu, skb)
+
+
+def tcp_close(stack, cpu: int, conn: TcpConn) -> Iterator:
+    """``tcp_close``: tear the connection down and free its tcp_sock."""
+    env = stack.env
+    fn = "tcp_close"
+    yield env.write(fn, conn.obj, "state")
+    yield env.read(fn, conn.obj, "wmem_alloc")
+    if conn.request is not None:
+        yield from kfree_skb(stack, cpu, conn.request)
+        conn.request = None
+    yield from stack.tcp_sock_cache.free(cpu, conn.obj)

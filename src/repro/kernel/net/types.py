@@ -1,0 +1,263 @@
+"""Struct layouts for the simulated network stack.
+
+Object sizes match the ones the thesis reports (Tables 6.1, 6.7): skbuff
+256B, skbuff_fclone 512B, packet payloads from the generic ``size-1024``
+pool, udp_sock 1024B, tcp_sock 1600B, net_device and array_cache 128B.
+Field lists are abridged to the members the simulated paths actually
+touch; padding brings each object to its slab size.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.layout import StructType
+
+#: Packet bookkeeping structure (struct sk_buff), 256 bytes.
+SKBUFF_TYPE = StructType(
+    "skbuff",
+    [
+        ("next", 8),
+        ("prev", 8),
+        ("sk", 8),
+        ("dev", 8),
+        ("len", 4),
+        ("data_len", 4),
+        ("queue_mapping", 4),
+        ("hash", 4),
+        ("cb", 48),
+        ("data", 8),
+        ("head", 8),
+        ("tail", 8),
+        ("end", 8),
+        ("truesize", 4),
+        ("users", 4),
+        ("protocol", 2),
+    ],
+    object_size=256,
+    description="packet bookkeeping structure",
+)
+
+#: Fast-clone skbuff pair used on the TCP transmit path, 512 bytes.
+SKBUFF_FCLONE_TYPE = StructType(
+    "skbuff_fclone",
+    [
+        ("next", 8),
+        ("prev", 8),
+        ("sk", 8),
+        ("dev", 8),
+        ("len", 4),
+        ("data_len", 4),
+        ("queue_mapping", 4),
+        ("hash", 4),
+        ("cb", 48),
+        ("data", 8),
+        ("head", 8),
+        ("tail", 8),
+        ("end", 8),
+        ("truesize", 4),
+        ("users", 4),
+        ("protocol", 2),
+        ("clone_ref", 4),
+    ],
+    object_size=512,
+    description="packet bookkeeping structure (TCP fast clone)",
+)
+
+#: Generic 1 KiB allocation pool holding packet payloads.
+SIZE_1024_TYPE = StructType(
+    "size-1024",
+    [("payload", 1024)],
+    object_size=1024,
+    description="packet payload",
+)
+
+#: Network device structure (abridged struct net_device), 128 bytes.
+NET_DEVICE_TYPE = StructType(
+    "net_device",
+    [
+        ("flags", 4),
+        ("num_tx_queues", 4),
+        ("tx_packets", 8),
+        ("tx_bytes", 8),
+        ("rx_packets", 8),
+        ("rx_bytes", 8),
+        ("tx_dropped", 8),
+        ("qdisc", 8),
+        ("features", 8),
+        ("mtu", 4),
+    ],
+    object_size=128,
+    description="network device structure",
+)
+
+#: Packet scheduler queue (struct Qdisc, pfifo_fast), 128 bytes.
+QDISC_TYPE = StructType(
+    "Qdisc",
+    [
+        ("qlen", 4),
+        ("lock", 4),
+        ("state", 4),
+        ("flags", 4),
+        ("head", 8),
+        ("tail", 8),
+        ("dev_queue", 8),
+    ],
+    object_size=128,
+    description="packet transmit queue",
+)
+
+#: One hardware descriptor ring of the 16-queue NIC, 192 bytes.
+IXGBE_RING_TYPE = StructType(
+    "ixgbe_ring",
+    [
+        ("desc", 8),
+        ("next_to_use", 4),
+        ("next_to_clean", 4),
+        ("count", 4),
+        ("queue_index", 4),
+        ("stats_packets", 8),
+        ("stats_bytes", 8),
+        ("tail_register", 4),
+    ],
+    object_size=192,
+    description="NIC descriptor ring",
+)
+
+#: UDP socket (abridged struct udp_sock), 1024 bytes.
+UDP_SOCK_TYPE = StructType(
+    "udp_sock",
+    [
+        ("state", 4),
+        ("sk_lock", 4),
+        ("receive_queue_head", 8),
+        ("receive_queue_tail", 8),
+        ("rmem_alloc", 4),
+        ("wmem_alloc", 4),
+        ("sk_wq", 8),
+        ("sk_data_ready", 8),
+        ("sk_write_space", 8),
+        ("port", 2),
+        ("hash", 4),
+        ("drops", 4),
+    ],
+    object_size=1024,
+    description="UDP socket structure",
+)
+
+#: TCP socket (abridged struct tcp_sock), 1600 bytes.
+TCP_SOCK_TYPE = StructType(
+    "tcp_sock",
+    [
+        ("state", 4),
+        ("sk_lock", 4),
+        ("receive_queue_head", 8),
+        ("receive_queue_tail", 8),
+        ("write_queue_head", 8),
+        ("write_queue_tail", 8),
+        ("rmem_alloc", 4),
+        ("wmem_alloc", 4),
+        ("sk_wq", 8),
+        ("accept_q_next", 8),
+        ("rcv_nxt", 4),
+        ("snd_nxt", 4),
+        ("snd_una", 4),
+        ("srtt", 4),
+        ("window", 4),
+        ("saddr", 4),
+        ("daddr", 4),
+        ("sport", 2),
+        ("dport", 2),
+        ("icsk_retransmits", 4),
+        ("copied_seq", 4),
+    ],
+    object_size=1600,
+    description="TCP socket structure",
+)
+
+#: Listening-socket state: accept queue head plus its lock, 256 bytes.
+LISTEN_SOCK_TYPE = StructType(
+    "inet_listen_sock",
+    [
+        ("state", 4),
+        ("lock", 4),
+        ("accept_head", 8),
+        ("accept_tail", 8),
+        ("qlen", 4),
+        ("backlog", 4),
+        ("port", 2),
+    ],
+    object_size=256,
+    description="TCP listening socket",
+)
+
+#: Event-poll context (abridged struct eventpoll), 192 bytes.
+EVENTPOLL_TYPE = StructType(
+    "eventpoll",
+    [
+        ("lock", 4),
+        ("mtx", 4),
+        ("wq", 8),
+        ("poll_wait", 8),
+        ("rdllist_head", 8),
+        ("rdllist_tail", 8),
+        ("ovflist", 8),
+    ],
+    object_size=192,
+    description="epoll instance",
+)
+
+#: Wait queue head used by socket and epoll wakeups, 64 bytes.
+WAIT_QUEUE_TYPE = StructType(
+    "wait_queue_head",
+    [("lock", 4), ("task_list_head", 8), ("task_list_tail", 8)],
+    object_size=64,
+    description="wait queue head",
+)
+
+#: Memory-mapped static file served by Apache (MMapFile), 1024 bytes.
+MMAP_FILE_TYPE = StructType(
+    "mmap_file",
+    [("content", 1024)],
+    object_size=1024,
+    description="memory-mapped static file",
+)
+
+#: Fast user mutex bucket (abridged futex hash bucket), 64 bytes.
+FUTEX_TYPE = StructType(
+    "futex",
+    [("lock", 4), ("waiters", 4), ("chain_head", 8), ("chain_tail", 8)],
+    object_size=64,
+    description="fast user mutex bucket",
+)
+
+#: Task structure (abridged struct task_struct), 1216 bytes.
+TASK_STRUCT_TYPE = StructType(
+    "task_struct",
+    [
+        ("state", 8),
+        ("stack", 8),
+        ("flags", 4),
+        ("cpu", 4),
+        ("prio", 4),
+        ("se_vruntime", 8),
+        ("se_sum_exec", 8),
+        ("mm", 8),
+        ("files", 8),
+        ("sighand", 8),
+        ("utime", 8),
+        ("stime", 8),
+        ("run_list_next", 8),
+        ("run_list_prev", 8),
+    ],
+    object_size=1216,
+    description="task structure",
+)
+
+#: All slab-allocated network types, for convenient cache creation.
+DYNAMIC_TYPES = [
+    SKBUFF_TYPE,
+    SKBUFF_FCLONE_TYPE,
+    SIZE_1024_TYPE,
+    UDP_SOCK_TYPE,
+    TCP_SOCK_TYPE,
+    TASK_STRUCT_TYPE,
+]

@@ -1,0 +1,144 @@
+"""UDP sockets: the memcached case study's transport.
+
+Each memcached instance owns one UDP socket pinned (with its NIC queue
+pair) to one core.  The receive path enqueues packets into the socket and
+fires the epoll wakeup; ``udp_recvmsg`` copies the payload out and frees
+the request; ``udp_sendmsg`` builds the response and hands it to
+``dev_queue_xmit``.  The socket's ``write_space`` callback runs at
+transmit *completion* time -- on whatever core owns the chosen TX queue --
+which is why ``udp_sock`` shows up as "bouncing" in the paper's Table 6.1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.kernel.layout import KObject
+from repro.kernel.locks import SpinLock
+from repro.kernel.net.skbuff import (
+    SkBuff,
+    alloc_skb,
+    kfree_skb,
+    skb_copy_datagram_iovec,
+    skb_put,
+)
+from repro.kernel.net.wakeup import EventPoll, ep_poll_callback, wake_up_sync_key, WaitQueue
+
+
+class UdpSock:
+    """A bound UDP socket: typed object + receive queue + wakeup hooks."""
+
+    def __init__(self, stack, obj: KObject, port: int, cpu: int) -> None:
+        self.stack = stack
+        self.obj = obj
+        self.port = port
+        self.cpu = cpu
+        self.lock = SpinLock("sock lock", obj, "sk_lock", stack.lockstat)
+        self.receive_queue: deque[SkBuff] = deque()
+        self.wq = WaitQueue(stack, f"udp.{port}")
+        self.epoll: EventPoll | None = None
+
+    def write_space(self, stack, cpu: int) -> Iterator:
+        """``sock_def_write_space``: credit send buffer at TX completion."""
+        env = stack.env
+        fn = "sock_def_write_space"
+        yield env.read(fn, self.obj, "wmem_alloc")
+        yield env.write(fn, self.obj, "wmem_alloc")
+        yield env.read(fn, self.obj, "sk_wq")
+        yield from wake_up_sync_key(stack, cpu, self.wq)
+
+
+def udp_sock_create(stack, cpu: int, port: int) -> Iterator:
+    """Allocate and initialize a UDP socket bound to *port*."""
+    env = stack.env
+    fn = "inet_create"
+    obj = yield from stack.udp_sock_cache.alloc(cpu)
+    sock = UdpSock(stack, obj, port, cpu)
+    yield env.write(fn, obj, "state")
+    yield env.write(fn, obj, "port")
+    yield env.write(fn, obj, "hash")
+    yield env.write(fn, obj, "sk_data_ready")
+    yield env.write(fn, obj, "sk_write_space")
+    return sock
+
+
+def udp_rcv(stack, cpu: int, sock: UdpSock, skb: SkBuff) -> Iterator:
+    """``udp_rcv``: deliver an incoming packet into the socket.
+
+    Called from ``ip_rcv`` context on the RX softirq core.
+    """
+    env = stack.env
+    fn = "udp_rcv"
+    yield env.read(fn, sock.obj, "port")
+    yield env.read(fn, sock.obj, "hash")
+    yield env.write(fn, skb.obj, "sk")
+    yield env.read(fn, sock.obj, "rmem_alloc")
+    yield env.write(fn, sock.obj, "rmem_alloc")
+    yield env.write(fn, sock.obj, "receive_queue_tail")
+    yield env.write(fn, skb.obj, "next")
+    sock.receive_queue.append(skb)
+    yield env.read(fn, sock.obj, "sk_data_ready")
+    if sock.epoll is not None:
+        yield from ep_poll_callback(stack, cpu, sock.epoll, sock)
+
+
+def udp_recvmsg(stack, cpu: int, sock: UdpSock) -> Iterator:
+    """``udp_recvmsg``: pop one datagram, copy it out, free it.
+
+    Returns the consumed skb, or None when the queue is empty.
+    """
+    env = stack.env
+    fn = "udp_recvmsg"
+    yield from lock_sock_nested(stack, cpu, sock)
+    yield env.read(fn, sock.obj, "receive_queue_head")
+    if not sock.receive_queue:
+        yield from release_sock(stack, cpu, sock)
+        return None
+    skb = sock.receive_queue.popleft()
+    yield env.write(fn, sock.obj, "receive_queue_head")
+    yield env.read(fn, sock.obj, "rmem_alloc")
+    yield env.write(fn, sock.obj, "rmem_alloc")
+    yield from skb_copy_datagram_iovec(stack, cpu, skb, skb.length)
+    yield env.work("getnstimeofday", 8)
+    yield from release_sock(stack, cpu, sock)
+    yield from kfree_skb(stack, cpu, skb)
+    return skb
+
+
+def udp_sendmsg(stack, cpu: int, sock: UdpSock, length: int, flow_hash: int) -> Iterator:
+    """``udp_sendmsg``: build a datagram and transmit it.
+
+    Returns the skb handed to the device layer.  ``flow_hash`` models the
+    packet-content hash ``skb_tx_hash`` will use for queue selection: for
+    UDP responses it is effectively unrelated to the receive steering,
+    which is the root of the memcached bottleneck.
+    """
+    env = stack.env
+    fn = "udp_sendmsg"
+    yield env.read(fn, sock.obj, "state")
+    yield env.read(fn, sock.obj, "wmem_alloc")
+    skb = yield from alloc_skb(stack, cpu, length)
+    skb.sock = sock
+    skb.flow_hash = flow_hash
+    yield env.write(fn, skb.obj, "sk")
+    yield env.write(fn, skb.obj, "hash")
+    # Copy the response body from userspace into the payload.
+    yield from env.bulk(
+        "copy_user_generic_string", skb.payload, 0, length, write=True, work_per_access=2
+    )
+    yield from skb_put(stack, cpu, skb, length)
+    yield env.write(fn, sock.obj, "wmem_alloc")
+    yield env.work("ip_route_output_flow", 10)
+    yield from stack.dev_queue_xmit(cpu, skb)
+    return skb
+
+
+def lock_sock_nested(stack, cpu: int, sock) -> Iterator:
+    """``lock_sock_nested``: take the socket's user lock."""
+    yield from sock.lock.acquire(stack.env, "lock_sock_nested", cpu)
+
+
+def release_sock(stack, cpu: int, sock) -> Iterator:
+    """``release_sock``: drop the socket's user lock."""
+    yield from sock.lock.release(stack.env, "release_sock", cpu)

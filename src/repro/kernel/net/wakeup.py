@@ -1,0 +1,101 @@
+"""Wait queues, epoll, and futexes -- the wakeup machinery.
+
+These are the subsystems behind the lock-stat rows in the paper's
+comparison tables: "epoll lock", "wait queue" (Table 6.2, memcached) and
+"futex lock" (Table 6.6, Apache).  The point the paper makes is that
+lock-stat surfaces *these* locks prominently while the actual bottleneck
+is elsewhere; reproducing the comparison requires the locks to exist and
+be exercised on the same paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.kernel.locks import SpinLock
+from repro.kernel.net.types import EVENTPOLL_TYPE, FUTEX_TYPE, WAIT_QUEUE_TYPE
+
+
+class WaitQueue:
+    """A wait queue head with its own lock."""
+
+    def __init__(self, stack, label: str) -> None:
+        self.obj = stack.slab.new_static(WAIT_QUEUE_TYPE, f"waitq.{label}")
+        self.lock = SpinLock("wait queue lock", self.obj, "lock", stack.lockstat)
+
+
+def wake_up_sync_key(stack, cpu: int, wq: WaitQueue) -> Iterator:
+    """``__wake_up_sync_key``: walk the waiter list under the queue lock."""
+    env = stack.env
+    fn = "__wake_up_sync_key"
+    yield from wq.lock.acquire(env, fn, cpu)
+    yield env.read(fn, wq.obj, "task_list_head")
+    yield from wq.lock.release(env, fn, cpu)
+
+
+class EventPoll:
+    """An epoll instance: ready list + lock + its wait queue."""
+
+    def __init__(self, stack, label: str) -> None:
+        self.obj = stack.slab.new_static(EVENTPOLL_TYPE, f"epoll.{label}")
+        self.lock = SpinLock("epoll lock", self.obj, "lock", stack.lockstat)
+        self.wq = WaitQueue(stack, f"epoll.{label}")
+        self.ready: deque = deque()
+
+
+def ep_poll_callback(stack, cpu: int, ep: EventPoll, source) -> Iterator:
+    """``ep_poll_callback``: a watched fd became ready."""
+    env = stack.env
+    fn = "ep_poll_callback"
+    yield from ep.lock.acquire(env, fn, cpu)
+    yield env.write(fn, ep.obj, "rdllist_tail")
+    ep.ready.append(source)
+    yield from ep.lock.release(env, fn, cpu)
+    yield from wake_up_sync_key(stack, cpu, ep.wq)
+
+
+def sys_epoll_wait(stack, cpu: int, ep: EventPoll) -> Iterator:
+    """``sys_epoll_wait`` / ``ep_scan_ready_list``: harvest ready fds.
+
+    Returns the list of ready sources (possibly empty).
+    """
+    env = stack.env
+    fn = "sys_epoll_wait"
+    yield from ep.lock.acquire(env, fn, cpu)
+    yield env.read(fn, ep.obj, "rdllist_head")
+    ready = list(ep.ready)
+    ep.ready.clear()
+    yield env.write("ep_scan_ready_list", ep.obj, "rdllist_head")
+    yield from ep.lock.release(env, fn, cpu)
+    return ready
+
+
+class Futex:
+    """A fast-user-mutex hash bucket."""
+
+    def __init__(self, stack, label: str) -> None:
+        self.obj = stack.slab.new_static(FUTEX_TYPE, f"futex.{label}")
+        self.lock = SpinLock("futex lock", self.obj, "lock", stack.lockstat)
+
+
+def futex_wait(stack, cpu: int, futex: Futex) -> Iterator:
+    """``futex_wait`` (via ``do_futex``): enqueue as a waiter."""
+    env = stack.env
+    yield env.work("do_futex", 4)
+    fn = "futex_wait"
+    yield from futex.lock.acquire(env, fn, cpu)
+    yield env.write(fn, futex.obj, "waiters")
+    yield env.write(fn, futex.obj, "chain_tail")
+    yield from futex.lock.release(env, fn, cpu)
+
+
+def futex_wake(stack, cpu: int, futex: Futex) -> Iterator:
+    """``futex_wake`` (via ``do_futex``): pop and wake a waiter."""
+    env = stack.env
+    yield env.work("do_futex", 4)
+    fn = "futex_wake"
+    yield from futex.lock.acquire(env, fn, cpu)
+    yield env.read(fn, futex.obj, "waiters")
+    yield env.write(fn, futex.obj, "chain_head")
+    yield from futex.lock.release(env, fn, cpu)

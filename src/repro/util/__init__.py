@@ -1,0 +1,14 @@
+"""Small shared utilities: deterministic RNG, statistics, text tables."""
+
+from repro.util.rng import DeterministicRng
+from repro.util.stats import OnlineStats, Histogram
+from repro.util.tables import TextTable, format_bytes, format_percent
+
+__all__ = [
+    "DeterministicRng",
+    "OnlineStats",
+    "Histogram",
+    "TextTable",
+    "format_bytes",
+    "format_percent",
+]

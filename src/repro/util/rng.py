@@ -1,0 +1,72 @@
+"""Deterministic random number generation for reproducible simulations.
+
+Every stochastic component in the simulator (IBS tag jitter, packet flow
+hashes, workload think times) draws from a :class:`DeterministicRng` seeded
+from a single root seed, so that a whole experiment replays bit-identically.
+Components derive child generators by name, which keeps streams independent
+of each other and of the order in which components are constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class DeterministicRng:
+    """A named, seedable random stream.
+
+    Wraps :class:`random.Random` and adds :meth:`child`, which derives an
+    independent stream from this one by hashing the parent seed with a label.
+    Two children with different labels never share state; the same label
+    always yields the same stream.
+    """
+
+    def __init__(self, seed: int, label: str = "root") -> None:
+        self.seed = seed
+        self.label = label
+        self._random = random.Random(self._mix(seed, label))
+
+    @staticmethod
+    def _mix(seed: int, label: str) -> int:
+        digest = hashlib.sha256(f"{seed}:{label}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def child(self, label: str) -> "DeterministicRng":
+        """Derive an independent stream named *label* from this one."""
+        return DeterministicRng(self._mix(self.seed, self.label), label)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi], inclusive on both ends."""
+        return self._random.randint(lo, hi)
+
+    def random(self) -> float:
+        """Uniform float in [0.0, 1.0)."""
+        return self._random.random()
+
+    def choice(self, seq):
+        """Uniformly pick one element of a non-empty sequence."""
+        return self._random.choice(seq)
+
+    def shuffle(self, seq) -> None:
+        """Shuffle *seq* in place."""
+        self._random.shuffle(seq)
+
+    def sample(self, seq, k: int):
+        """Sample *k* distinct elements from *seq*."""
+        return self._random.sample(seq, k)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential inter-arrival draw with the given rate."""
+        return self._random.expovariate(rate)
+
+    def jitter(self, base: int, fraction: float = 0.25) -> int:
+        """Return *base* perturbed by up to +/- *fraction* of its value.
+
+        Used for IBS sampling intervals, which real hardware randomizes to
+        avoid lockstep with periodic program behaviour.
+        """
+        if base <= 0:
+            return base
+        spread = max(1, int(base * fraction))
+        return max(1, base + self._random.randint(-spread, spread))

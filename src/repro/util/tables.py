@@ -1,0 +1,80 @@
+"""Plain-text table rendering for profiler reports.
+
+The thesis presents every view as a table (Tables 4.1, 6.1-6.10); this
+module renders equivalent monospaced tables without external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class TextTable:
+    """A simple left/right-aligned monospaced table builder."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append one row; cells are stringified with str()."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table, right-aligning cells that look numeric."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            parts = []
+            for i, cell in enumerate(cells):
+                if _looks_numeric(cell):
+                    parts.append(cell.rjust(widths[i]))
+                else:
+                    parts.append(cell.ljust(widths[i]))
+            return "  ".join(parts).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _looks_numeric(cell: str) -> bool:
+    stripped = cell.rstrip("%").replace(",", "")
+    if stripped.endswith(("B", "KB", "MB", "GB")):
+        stripped = stripped.rstrip("BKMG")
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count the way the thesis does (128B, 2.55MB, ...)."""
+    if n < 1024:
+        return f"{int(n)}B"
+    if n < 1024 * 1024:
+        return f"{n / 1024:.2f}KB"
+    return f"{n / (1024 * 1024):.2f}MB"
+
+
+def format_percent(fraction: float, digits: int = 2) -> str:
+    """Render a 0..1 fraction as a percentage string."""
+    return f"{fraction * 100:.{digits}f}%"

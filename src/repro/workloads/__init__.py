@@ -1,0 +1,23 @@
+"""Workloads: the paper's two case studies plus synthetic microworkloads.
+
+- :mod:`repro.workloads.memcached` -- 16 UDP memcached instances pinned
+  one per core, closed-loop clients (Section 6.1's true-sharing study);
+- :mod:`repro.workloads.apache` -- 16 Apache instances serving a 1 KiB
+  mmap'd file over TCP, open-loop arrivals (Section 6.2's working-set
+  study);
+- :mod:`repro.workloads.synthetic` -- targeted generators for each cache
+  miss class, used to validate DProf's classification against the
+  simulator's ground truth.
+"""
+
+from repro.workloads.base import WorkloadResult
+from repro.workloads.memcached import MemcachedConfig, MemcachedWorkload
+from repro.workloads.apache import ApacheConfig, ApacheWorkload
+
+__all__ = [
+    "WorkloadResult",
+    "MemcachedConfig",
+    "MemcachedWorkload",
+    "ApacheConfig",
+    "ApacheWorkload",
+]

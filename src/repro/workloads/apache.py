@@ -1,0 +1,281 @@
+"""The Apache workload (paper Section 6.2).
+
+One Apache instance per core serving a single 1 KiB static file out of
+memory (the ``MMapFile`` directive); load generators repeatedly open a TCP
+connection, request the file once, and close it.  Arrivals are open-loop
+at a configurable per-core rate: "the load generating machines eagerly
+filled this queue with new requests".
+
+The case study's knob is the accept-queue backlog.  At moderate load the
+queue stays shallow, a freshly-accepted ``tcp_sock`` is still warm in the
+accepting core's caches, and throughput peaks.  Past the drop-off point
+the queue fills to its limit: by the time Apache accepts a connection its
+``tcp_sock`` lines have been flushed by the hundreds of connections
+processed in between, every request gets slower, and throughput *falls*
+under more load.  Limiting the backlog (admission control,
+:mod:`repro.fixes.admission`) is the paper's 16% fix.
+
+Each instance also exercises the futex/wakeup machinery (worker handoff)
+and a pool of worker ``task_struct`` objects (scheduler churn), which is
+what puts ``task_struct`` near the top of the paper's Apache data
+profiles (Tables 6.4/6.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.events import Pause
+from repro.kernel.kernel import Kernel
+from repro.kernel.layout import KObject
+from repro.kernel.net import NetStack
+from repro.kernel.net.skbuff import SkBuff
+from repro.kernel.net.stack import Arrival
+from repro.kernel.net.tcp import (
+    ListenSock,
+    inet_csk_accept,
+    tcp_close,
+    tcp_recvmsg,
+    tcp_sendmsg,
+    tcp_v4_rcv,
+)
+from repro.kernel.net.types import MMAP_FILE_TYPE
+from repro.kernel.net.wakeup import EventPoll, Futex, futex_wait, futex_wake
+from repro.util.rng import DeterministicRng
+from repro.workloads.base import RequestCounter, WorkloadResult
+
+
+@dataclass(frozen=True)
+class ApacheConfig:
+    """Workload knobs.
+
+    ``arrival_period`` is cycles between connection arrivals per core
+    (lower = more load); ``backlog`` is the accept-queue limit per
+    instance (the admission-control fix lowers it).
+    """
+
+    arrival_period: int = 30_000
+    backlog: int = 128
+    file_len: int = 1024
+    request_len: int = 64
+    workers_per_instance: int = 16
+    workers_touched_per_request: int = 4
+    #: Userspace request handling (MPM worker, parsing, logging).
+    #: Calibrated like memcached's: the kernel-side miss costs must be the
+    #: same fraction of a request as on the paper's testbed for the +16%
+    #: admission-control headline to be meaningful.
+    user_work_cycles: int = 20_000
+    #: Userspace heap per instance and the slice of it each request walks
+    #: (config, logging, and scoreboard churn).  This memory is untyped
+    #: (not slab-allocated), so DProf cannot attribute it -- exactly like
+    #: a real process heap -- but its cache pressure is real: it is what
+    #: keeps kernel objects from staying resident between uses.
+    heap_bytes: int = 24 * 1024
+    heap_walk_bytes: int = 3 * 1024
+    seed: int = 4321
+
+    def __post_init__(self) -> None:
+        if self.arrival_period <= 0:
+            raise ConfigError("arrival_period must be positive")
+        if self.backlog <= 0:
+            raise ConfigError("backlog must be positive")
+
+
+class ApacheWorkload:
+    """Drives N pinned Apache instances over the simulated stack."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        stack: NetStack | None = None,
+        config: ApacheConfig | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config or ApacheConfig()
+        self.stack = stack if stack is not None else NetStack(kernel)
+        self.rng = DeterministicRng(self.config.seed, "apache")
+        self.ncores = kernel.ncores
+        self.listeners: dict[int, ListenSock] = {}
+        self.files: dict[int, KObject] = {}
+        self.futexes: dict[int, Futex] = {}
+        self.workers: dict[int, list[KObject]] = {}
+        self.counter = RequestCounter(self.ncores)
+        self.accept_wait_cycles: list[int] = []
+        self._worker_rr: dict[int, int] = {}
+        self._heap_base: dict[int, int] = {}
+        self._heap_pos: dict[int, int] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Create listeners, files, futexes, and worker task_structs."""
+        for cpu in range(self.ncores):
+            self.kernel.spawn(f"ap-setup.{cpu}", cpu, self._setup_one(cpu))
+        self.kernel.run()
+        self.stack.deliver = self._deliver
+        self.stack.on_tx_complete_cb = self._on_tx_complete
+
+    def _setup_one(self, cpu: int):
+        listener = ListenSock(self.stack, cpu, 80, backlog=self.config.backlog)
+        listener.epoll = EventPoll(self.stack, f"ap.{cpu}")
+        self.listeners[cpu] = listener
+        self.files[cpu] = self.kernel.slab.new_static(MMAP_FILE_TYPE, f"mmap.{cpu}")
+        self.futexes[cpu] = Futex(self.stack, f"ap.{cpu}")
+        self._worker_rr[cpu] = 0
+        self._heap_base[cpu] = self.kernel.machine.address_space.alloc_region(
+            self.config.heap_bytes, align=64, label=f"apache_heap.{cpu}"
+        )
+        self._heap_pos[cpu] = 0
+        workers = []
+        for _ in range(self.config.workers_per_instance):
+            task = yield from self.stack.task_struct_cache.alloc(cpu)
+            workers.append(task)
+        self.workers[cpu] = workers
+
+    # ------------------------------------------------------------------
+    # Open-loop load generation
+    # ------------------------------------------------------------------
+
+    def schedule_arrivals(self, duration_cycles: int, start_cycle: int = 0) -> int:
+        """Push the arrival schedule for a run window; returns the count."""
+        period = self.config.arrival_period
+        total = 0
+        for cpu in range(self.ncores):
+            rxq = self.stack.dev.rx_queues[cpu]
+            jitter_rng = self.rng.child(f"arrivals.{cpu}")
+            t = start_cycle + jitter_rng.randint(0, period)
+            seq = 0
+            while t < start_cycle + duration_cycles:
+                rxq.arrivals.append(
+                    Arrival(
+                        due=t,
+                        flow_hash=cpu,  # TCP flow hash steers back to this core
+                        length=self.config.request_len,
+                        kind="connect",
+                        meta={"seq": seq},
+                    )
+                )
+                seq += 1
+                total += 1
+                t += jitter_rng.jitter(period, fraction=0.2)
+        return total
+
+    def _on_tx_complete(self, skb: SkBuff, cpu: int) -> None:
+        origin = skb.meta.get("ap_origin")
+        if origin is not None:
+            self.counter.bump(origin)
+
+    # ------------------------------------------------------------------
+    # Kernel-side delivery and the server loop
+    # ------------------------------------------------------------------
+
+    def _deliver(self, stack: NetStack, cpu: int, rxq, skb: SkBuff, arrival: Arrival):
+        yield from tcp_v4_rcv(stack, cpu, self.listeners[cpu], skb, arrival.flow_hash)
+
+    def _touch_workers(self, cpu: int):
+        """Scheduler churn: context-switch bookkeeping over worker tasks."""
+        env = self.kernel.env
+        workers = self.workers[cpu]
+        n = self.config.workers_touched_per_request
+        for _ in range(n):
+            index = self._worker_rr[cpu] % len(workers)
+            self._worker_rr[cpu] += 1
+            task = workers[index]
+            yield env.read("schedule", task, "state")
+            yield env.write("schedule", task, "se_vruntime")
+            yield env.read("context_switch", task, "stack")
+            yield env.write("context_switch", task, "se_sum_exec")
+
+    def _walk_heap(self, cpu: int):
+        """Touch a rotating slice of the instance's userspace heap."""
+        env = self.kernel.env
+        base = self._heap_base[cpu]
+        pos = self._heap_pos[cpu]
+        walk = self.config.heap_walk_bytes
+        self._heap_pos[cpu] = (pos + walk) % self.config.heap_bytes
+        for off in range(0, walk, 64):
+            addr = base + (pos + off) % self.config.heap_bytes
+            yield env.read_at("apache_handler", "heap", addr, 8)
+
+    def server_body(self, cpu: int):
+        """One Apache instance: accept, read request, serve file, close."""
+        env = self.kernel.env
+        listener = self.listeners[cpu]
+        futex = self.futexes[cpu]
+        cfg = self.config
+        while True:
+            conn = yield from inet_csk_accept(self.stack, cpu, listener)
+            if conn is None:
+                yield Pause(self.stack.IDLE_PAUSE)
+                continue
+            self.accept_wait_cycles.append(conn.accept_cycle - conn.enqueue_cycle)
+            # Hand the connection to a worker thread: futex wake + wait,
+            # plus the scheduler touching worker task_structs.
+            yield from futex_wake(self.stack, cpu, futex)
+            yield from self._touch_workers(cpu)
+            yield from tcp_recvmsg(self.stack, cpu, conn)
+            yield from self._walk_heap(cpu)
+            chunk = max(1, cfg.user_work_cycles // 8)
+            spent = 0
+            while spent < cfg.user_work_cycles:
+                yield env.work("apache_handler", min(chunk, cfg.user_work_cycles - spent))
+                spent += chunk
+            response = yield from tcp_sendmsg(
+                self.stack, cpu, conn, cfg.file_len, self.files[cpu]
+            )
+            response.meta["ap_origin"] = cpu
+            yield from tcp_close(self.stack, cpu, conn)
+            yield from futex_wait(self.stack, cpu, futex)
+
+    # ------------------------------------------------------------------
+    # Measured run
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn softirq and server threads."""
+        if self._started:
+            return
+        self._started = True
+        self.stack.spawn_softirq_threads()
+        for cpu in range(self.ncores):
+            self.kernel.spawn(f"apache.{cpu}", cpu, self.server_body(cpu))
+
+    def run(self, duration_cycles: int, warmup_cycles: int = 0) -> WorkloadResult:
+        """Schedule arrivals for the window, run it, report throughput."""
+        self.start()
+        start = self.kernel.elapsed_cycles()
+        self.schedule_arrivals(duration_cycles + warmup_cycles, start_cycle=start)
+        if warmup_cycles:
+            self.kernel.run(until_cycle=start + warmup_cycles)
+        base_total = self.counter.total
+        base_per_core = dict(self.counter.per_core)
+        measure_start = self.kernel.elapsed_cycles()
+        self.kernel.run(until_cycle=start + warmup_cycles + duration_cycles)
+        elapsed = self.kernel.elapsed_cycles() - measure_start
+        return WorkloadResult(
+            requests_completed=self.counter.total - base_total,
+            elapsed_cycles=elapsed,
+            per_core_completed={
+                cpu: self.counter.per_core[cpu] - base_per_core.get(cpu, 0)
+                for cpu in self.counter.per_core
+            },
+            overhead_cycles=self.kernel.machine.total_overhead_cycles(),
+        )
+
+    # ------------------------------------------------------------------
+    # Diagnostics used by the case study
+    # ------------------------------------------------------------------
+
+    def mean_accept_wait(self) -> float:
+        """Average cycles connections spent on accept queues."""
+        if not self.accept_wait_cycles:
+            return 0.0
+        return sum(self.accept_wait_cycles) / len(self.accept_wait_cycles)
+
+    def total_dropped(self) -> int:
+        """Connections dropped due to full accept queues."""
+        return sum(l.dropped for l in self.listeners.values())

@@ -1,0 +1,121 @@
+"""Tests for the OProfile and lock-stat baseline tools."""
+
+from repro.baselines import LockStatReport, OProfile
+from repro.hw.machine import MachineConfig
+from repro.kernel import Kernel, StructType
+from repro.kernel.locks import SpinLock
+
+THING = StructType("thing", [("lock", 4), ("value", 8)], object_size=64)
+
+
+def test_oprofile_attributes_cycles_to_functions():
+    k = Kernel(MachineConfig(ncores=2, seed=3))
+    obj = k.slab.new_static(THING, "thing")
+    prof = OProfile(k.machine)
+    prof.attach()
+    env = k.env
+
+    def body():
+        for _ in range(100):
+            yield env.work("hot_fn", 50)
+            yield env.read("cold_fn", obj, "value")
+
+    k.spawn("t", 0, body())
+    k.run()
+    prof.detach()
+    rows = {r.fn: r for r in prof.rows()}
+    assert rows["hot_fn"].clk_share > rows["cold_fn"].clk_share
+    assert abs(sum(r.clk_share for r in prof.rows()) - 1.0) < 1e-9
+
+
+def test_oprofile_l2_miss_attribution():
+    k = Kernel(MachineConfig(ncores=2, seed=3))
+    cfg = k.machine.config
+    base = k.machine.address_space.alloc_region(cfg.l3_size * 2, label="big")
+    prof = OProfile(k.machine)
+    prof.attach()
+    env = k.env
+
+    def streamer():
+        # Stream far beyond every cache: every access is an L2(+L3) miss.
+        for rep in range(2):
+            for addr in range(base, base + cfg.l2_size * 2, 64):
+                yield env.read_at("streamer_fn", "probe", addr, 8)
+
+    def spinner():
+        for _ in range(100):
+            yield env.work("spin_fn", 10)
+
+    k.spawn("s", 0, streamer())
+    k.spawn("w", 1, spinner())
+    k.run()
+    prof.detach()
+    rows = {r.fn: r for r in prof.rows()}
+    assert rows["streamer_fn"].l2_misses > 0
+    assert rows.get("spin_fn") is None or rows["spin_fn"].l2_misses == 0
+    assert rows["streamer_fn"].l2_miss_share > 0.9
+
+
+def test_oprofile_detach_stops_counting():
+    k = Kernel(MachineConfig(ncores=2, seed=3))
+    prof = OProfile(k.machine)
+    prof.attach()
+    env = k.env
+    k.spawn("a", 0, iter([env.work("fn", 10)]))
+    k.run()
+    prof.detach()
+    before = prof.total_cycles
+    k.spawn("b", 0, iter([env.work("fn", 10)]))
+    k.run()
+    assert prof.total_cycles == before
+
+
+def test_oprofile_render_table():
+    k = Kernel(MachineConfig(ncores=2, seed=3))
+    prof = OProfile(k.machine)
+    prof.attach()
+    k.spawn("a", 0, iter([k.env.work("render_fn", 10)]))
+    k.run()
+    out = prof.render(5)
+    assert "render_fn" in out
+    assert "% CLK" in out
+
+
+def test_lockstat_report_aggregates_instances():
+    k = Kernel(MachineConfig(ncores=2, seed=3))
+    a = k.slab.new_static(THING, "a")
+    b = k.slab.new_static(THING, "b")
+    lock_a = SpinLock("Qdisc lock (0)", a, "lock", k.lockstat)
+    lock_b = SpinLock("Qdisc lock (1)", b, "lock", k.lockstat)
+
+    def body(lock, fn):
+        for _ in range(10):
+            yield from lock.acquire(k.env, fn, 0)
+            yield from lock.release(k.env, fn, 0)
+
+    k.spawn("a", 0, body(lock_a, "xmit"))
+    k.run()
+    k.spawn("b", 0, body(lock_b, "run"))
+    k.run()
+    report = LockStatReport(k.lockstat, k.machine.total_cycles())
+    row = report.row_for("Qdisc lock")
+    assert row is not None
+    assert row.acquisitions == 20
+    assert set(row.top_functions()) == {"xmit", "run"}
+    assert 0.0 <= row.overhead <= 1.0
+
+
+def test_lockstat_report_render():
+    k = Kernel(MachineConfig(ncores=2, seed=3))
+    a = k.slab.new_static(THING, "a")
+    lock = SpinLock("futex lock", a, "lock", k.lockstat)
+
+    def body():
+        yield from lock.acquire(k.env, "do_futex", 0)
+        yield from lock.release(k.env, "do_futex", 0)
+
+    k.spawn("t", 0, body())
+    k.run()
+    out = LockStatReport(k.lockstat, k.machine.total_cycles()).render()
+    assert "futex lock" in out
+    assert "do_futex" in out

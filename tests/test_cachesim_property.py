@@ -1,0 +1,69 @@
+"""Property-based tests for DProf's offline cache simulation."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dprof.cachesim import DProfCacheSim
+from repro.dprof.records import AddressSet
+from repro.hw.cache import CacheGeometry
+from repro.util.rng import DeterministicRng
+
+slow = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def address_sets(draw):
+    aset = AddressSet()
+    n = draw(st.integers(min_value=1, max_value=40))
+    for i in range(n):
+        base = draw(st.integers(min_value=0, max_value=2**20)) * 64
+        size = draw(st.sampled_from([64, 128, 256, 1024]))
+        alloc = draw(st.integers(min_value=0, max_value=10**6))
+        aset.record_alloc(
+            draw(st.sampled_from(["a", "b", "c"])), base, size, 1, 0, alloc
+        )
+        if draw(st.booleans()):
+            aset.record_free(base, 1, 0, alloc + draw(st.integers(1, 10**5)))
+    return aset
+
+
+@slow
+@given(address_sets())
+def test_sim_counters_are_consistent(aset):
+    geometry = CacheGeometry(8 * 1024, 4, 64)
+    sim = DProfCacheSim(geometry, DeterministicRng(1, "p"))
+    result = sim.simulate(aset, {})
+    # Every distinct-line count is positive and set indices are in range.
+    for set_index, count in result.distinct_lines_per_set.items():
+        assert 0 <= set_index < geometry.num_sets
+        assert count >= 1
+    # Objects simulated never exceeds the address-set population.
+    assert result.objects_simulated <= len(aset.entries)
+    # Accesses at least touch each sampled object's footprint once.
+    assert result.accesses_simulated >= result.objects_simulated
+    # Per-set type instances never exceed the total object count.
+    for counter in result.set_type_instances.values():
+        assert sum(counter.values()) <= result.objects_simulated * 4
+
+
+@slow
+@given(address_sets())
+def test_sim_is_deterministic(aset):
+    geometry = CacheGeometry(8 * 1024, 4, 64)
+    a = DProfCacheSim(geometry, DeterministicRng(2, "x")).simulate(aset, {})
+    b = DProfCacheSim(geometry, DeterministicRng(2, "x")).simulate(aset, {})
+    assert a.distinct_lines_per_set == b.distinct_lines_per_set
+    assert a.mean_resident_lines == b.mean_resident_lines
+
+
+@slow
+@given(address_sets(), st.floats(min_value=1.1, max_value=8.0))
+def test_conflict_sets_monotone_in_factor(aset, factor):
+    geometry = CacheGeometry(8 * 1024, 4, 64)
+    result = DProfCacheSim(geometry, DeterministicRng(3, "m")).simulate(aset, {})
+    loose = set(result.conflict_sets(1.05))
+    tight = set(result.conflict_sets(factor))
+    # Raising the threshold can only shrink the suspect set.
+    assert tight <= loose

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_has_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["memcached", "--cores", "4", "--fixed"])
+    assert args.cores == 4
+    assert args.fixed
+    args = parser.parse_args(["apache", "--period", "18000", "--admission", "8"])
+    assert args.period == 18000
+    assert args.admission == 8
+    args = parser.parse_args(["diagnose"])
+    assert args.command == "diagnose"
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+@pytest.mark.slow
+def test_cli_memcached_stock_runs(capsys):
+    rc = main(["memcached", "--cores", "4", "--duration", "250000"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "throughput:" in out
+    assert "Data profile view" in out
+    assert "size-1024" in out
+    assert "Lock statistics" in out
+
+
+@pytest.mark.slow
+def test_cli_memcached_fixed_runs(capsys):
+    rc = main(["memcached", "--cores", "4", "--duration", "250000", "--fixed"])
+    assert rc == 0
+    assert "fixed (local TX queues)" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_cli_apache_runs(capsys):
+    rc = main(
+        ["apache", "--cores", "4", "--duration", "400000", "--period", "25000"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "apache on 4 cores" in out
+    assert "mean accept wait" in out

@@ -1,0 +1,158 @@
+"""Tests for DProf's raw data structures."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dprof.records import (
+    AccessSample,
+    AccessStats,
+    AddressSet,
+    HistoryElement,
+    ObjectAccessHistory,
+)
+from repro.hw.events import CacheLevel
+
+
+def make_sample(level=CacheLevel.L1, latency=3, offset=0, ip=1):
+    return AccessSample(
+        type_name="skbuff",
+        offset=offset,
+        ip=ip,
+        cpu=0,
+        level=level,
+        latency=latency,
+        is_write=False,
+        cycle=100,
+    )
+
+
+class TestAccessSample:
+    def test_l1_hit_is_not_miss(self):
+        assert not make_sample(CacheLevel.L1).l1_miss
+        assert not make_sample(CacheLevel.L1).remote_miss
+
+    def test_levels_beyond_l1_are_misses(self):
+        for level in (CacheLevel.L2, CacheLevel.L3, CacheLevel.FOREIGN, CacheLevel.DRAM):
+            assert make_sample(level).l1_miss
+
+    def test_remote_miss_only_foreign_and_dram(self):
+        assert make_sample(CacheLevel.FOREIGN).remote_miss
+        assert make_sample(CacheLevel.DRAM).remote_miss
+        assert not make_sample(CacheLevel.L2).remote_miss
+
+
+class TestAccessStats:
+    def test_aggregation(self):
+        stats = AccessStats()
+        stats.add(make_sample(CacheLevel.L1, latency=3))
+        stats.add(make_sample(CacheLevel.L1, latency=3))
+        stats.add(make_sample(CacheLevel.FOREIGN, latency=200))
+        assert stats.count == 3
+        assert abs(stats.hit_probability(CacheLevel.L1) - 2 / 3) < 1e-9
+        assert abs(stats.miss_probability - 1 / 3) < 1e-9
+        assert abs(stats.remote_probability - 1 / 3) < 1e-9
+        assert abs(stats.latency.mean - (3 + 3 + 200) / 3) < 1e-9
+
+    def test_empty_stats(self):
+        stats = AccessStats()
+        assert stats.miss_probability == 0.0
+        assert stats.hit_probability(CacheLevel.L1) == 0.0
+
+
+class TestHistorySignatures:
+    def make_history(self, elements, alloc_cpu=0):
+        h = ObjectAccessHistory(
+            type_name="t",
+            object_base=0x1000,
+            object_cookie=1,
+            offsets=((0, 4), (8, 4)),
+            alloc_cpu=alloc_cpu,
+            alloc_cycle=0,
+        )
+        h.elements = elements
+        h.free_cycle = 999
+        return h
+
+    def test_signature_tracks_cpu_changes(self):
+        h = self.make_history(
+            [
+                HistoryElement(offset=0, ip=10, cpu=0, time=1, is_write=True),
+                HistoryElement(offset=8, ip=20, cpu=2, time=5, is_write=False),
+                HistoryElement(offset=0, ip=30, cpu=2, time=9, is_write=False),
+            ]
+        )
+        assert h.signature() == ((0, 10, False), (8, 20, True), (0, 30, False))
+
+    def test_projection_restricts_to_chunk(self):
+        h = self.make_history(
+            [
+                HistoryElement(offset=0, ip=10, cpu=0, time=1, is_write=True),
+                HistoryElement(offset=8, ip=20, cpu=2, time=5, is_write=False),
+                HistoryElement(offset=1, ip=30, cpu=2, time=9, is_write=False),
+            ]
+        )
+        assert h.projection((0, 4)) == ((10, False), (30, False))
+        assert h.projection((8, 4)) == ((20, True),)
+
+    def test_pair_flag(self):
+        h = self.make_history([])
+        assert h.is_pair
+        h.offsets = ((0, 4),)
+        assert not h.is_pair
+
+
+class TestAddressSet:
+    def test_live_bytes_integration(self):
+        aset = AddressSet()
+        # Object of 100 bytes live for the whole [0, 100) window.
+        aset.record_alloc("t", 0x1000, 100, 1, 0, 0)
+        aset.record_free(0x1000, 1, 0, 100)
+        assert aset.mean_live_bytes("t", 0, 100) == 100.0
+        # Live for half the window -> half the bytes on average.
+        assert aset.mean_live_bytes("t", 0, 200) == 50.0
+
+    def test_unfreed_objects_live_to_window_end(self):
+        aset = AddressSet()
+        aset.record_alloc("t", 0x1000, 64, 1, 0, 50)
+        assert aset.mean_live_bytes("t", 0, 100) == 32.0
+
+    def test_mean_live_objects(self):
+        aset = AddressSet()
+        for i in range(4):
+            aset.record_alloc("t", 0x1000 + i * 64, 64, 1, 0, 0)
+        assert aset.mean_live_objects("t", 0, 100) == 4.0
+
+    def test_free_with_unknown_cookie_ignored(self):
+        aset = AddressSet()
+        aset.record_alloc("t", 0x1000, 64, 1, 0, 0)
+        aset.record_free(0x1000, 99, 0, 10)  # wrong cookie
+        entry = aset.entries[0]
+        assert entry.free_cycle is None
+
+    def test_by_type_and_names(self):
+        aset = AddressSet()
+        aset.record_alloc("a", 0x1000, 64, 1, 0, 0)
+        aset.record_alloc("b", 0x2000, 64, 1, 0, 0)
+        aset.record_alloc("a", 0x3000, 64, 1, 0, 0)
+        grouped = aset.by_type()
+        assert len(grouped["a"]) == 2
+        assert aset.type_names() == ["a", "b"]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=1, max_value=500),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_live_bytes_nonnegative_and_bounded(self, intervals):
+        aset = AddressSet()
+        size = 64
+        for i, (start, length) in enumerate(intervals):
+            aset.record_alloc("t", 0x1000 + i * size, size, 1, 0, start)
+            aset.record_free(0x1000 + i * size, 1, 0, start + length)
+        mean = aset.mean_live_bytes("t", 0, 1000)
+        assert 0 <= mean <= len(intervals) * size

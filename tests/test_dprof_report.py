@@ -1,0 +1,68 @@
+"""Tests for path-trace report rendering (Table 4.1 format)."""
+
+from repro.dprof.records import PathTrace, PathTraceEntry
+from repro.dprof.report import render_path_trace, render_path_traces
+from repro.hw.events import CacheLevel
+
+
+def make_trace():
+    entries = [
+        PathTraceEntry(
+            ip=1,
+            fn="tcp_write",
+            cpu_changed=False,
+            offsets=(64, 128),
+            is_write=True,
+            mean_time=5.0,
+            hit_probabilities={CacheLevel.L1: 1.0},
+            mean_latency=3.0,
+            sample_count=40,
+        ),
+        PathTraceEntry(
+            ip=2,
+            fn="dev_xmit",
+            cpu_changed=True,
+            offsets=(24, 28),
+            is_write=False,
+            mean_time=25.0,
+            hit_probabilities={CacheLevel.FOREIGN: 1.0},
+            mean_latency=200.0,
+            sample_count=12,
+        ),
+        PathTraceEntry(
+            ip=3,
+            fn="unsampled_fn",
+            cpu_changed=False,
+            offsets=(0, 4),
+            is_write=False,
+            mean_time=50.0,
+        ),
+    ]
+    return PathTrace("packet", entries, frequency=17)
+
+
+def test_render_matches_table_4_1_columns():
+    out = render_path_trace(make_trace())
+    assert "Path trace: packet (frequency 17)" in out
+    assert "Program counter" in out
+    assert "CPU change" in out
+    # The local-L1 row and the foreign row read like the paper's table.
+    assert "100% local L1" in out
+    assert "100% foreign cache" in out
+    assert "tcp_write()" in out
+    assert "24-28" in out
+    assert "200 cyc" in out
+
+
+def test_render_handles_missing_samples():
+    out = render_path_trace(make_trace())
+    # The unsampled entry renders with placeholders, not a crash.
+    assert "unsampled_fn()" in out
+    lines = [l for l in out.splitlines() if "unsampled_fn" in l]
+    assert "-" in lines[0]
+
+
+def test_render_many_traces_limits():
+    traces = [make_trace() for _ in range(5)]
+    out = render_path_traces(traces, limit=2)
+    assert out.count("Path trace: packet") == 2

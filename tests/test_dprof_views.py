@@ -1,0 +1,214 @@
+"""Tests for the four DProf views in isolation."""
+
+from repro.dprof.cachesim import WorkingSetSimResult
+from repro.dprof.records import PathTrace, PathTraceEntry
+from repro.dprof.views import (
+    DataFlowView,
+    DataProfileRow,
+    DataProfileView,
+    MissClass,
+    MissClassifier,
+    WorkingSetRow,
+    WorkingSetView,
+)
+from repro.hw.cache import CacheGeometry
+from repro.hw.events import CacheLevel
+
+
+def entry(fn, lo=0, hi=8, cpu_changed=False, write=False, miss_level=None, t=0.0):
+    probs = {CacheLevel.L1: 1.0}
+    latency = 3.0
+    if miss_level is not None:
+        probs = {CacheLevel.L1: 0.2, miss_level: 0.8}
+        latency = 160.0
+    return PathTraceEntry(
+        ip=hash(fn) % 10**6,
+        fn=fn,
+        cpu_changed=cpu_changed,
+        offsets=(lo, hi),
+        is_write=write,
+        mean_time=t,
+        hit_probabilities=probs,
+        mean_latency=latency,
+        sample_count=10,
+    )
+
+
+class TestDataProfileView:
+    def rows(self):
+        return [
+            DataProfileRow("skbuff", "packet", 1000.0, 0.05, True),
+            DataProfileRow("size-1024", "payload", 5000.0, 0.45, True),
+            DataProfileRow("udp_sock", "socket", 1024.0, 0.02, False),
+        ]
+
+    def test_sorted_by_miss_share(self):
+        view = DataProfileView(self.rows(), total_l1_misses=100)
+        assert [r.type_name for r in view.rows] == ["size-1024", "skbuff", "udp_sock"]
+
+    def test_covered_share_and_lookup(self):
+        view = DataProfileView(self.rows(), total_l1_misses=100)
+        assert abs(view.covered_share(2) - 0.50) < 1e-9
+        assert view.row_for("skbuff").bounce
+        assert view.row_for("missing") is None
+
+    def test_render_contains_table_shape(self):
+        out = DataProfileView(self.rows(), 100).render(2)
+        assert "size-1024" in out
+        assert "45.00%" in out
+        assert "Total" in out
+        assert "yes" in out and "no" not in out.split("Total")[1]
+
+
+class TestWorkingSetView:
+    def make_sim(self):
+        sim = WorkingSetSimResult(geometry=CacheGeometry(4096, 4, 64))
+        sim.distinct_lines_per_set = {0: 20, 1: 2, 2: 2, 3: 2}
+        from collections import Counter
+
+        sim.set_type_instances = {0: Counter({"hot_type": 18, "other": 2})}
+        sim.mean_resident_lines = {"hot_type": 12.0}
+        return sim
+
+    def test_conflict_set_types(self):
+        view = WorkingSetView(
+            [WorkingSetRow("hot_type", 4096.0, 32.0, 12.0)], self.make_sim(), 1000
+        )
+        assert view.conflict_sets() == [0]
+        assert view.types_in_conflict_sets()["hot_type"] == 18
+
+    def test_render(self):
+        view = WorkingSetView(
+            [WorkingSetRow("hot_type", 4096.0, 32.0, 12.0)], self.make_sim(), 1000
+        )
+        out = view.render()
+        assert "hot_type" in out
+        assert "conflict-suspect" in out
+
+
+class TestMissClassifier:
+    def quiet_sim(self):
+        return WorkingSetSimResult(geometry=CacheGeometry(4096, 4, 64))
+
+    def test_true_sharing_detected(self):
+        # Remote write to [0, 8), then a miss reading the same bytes.
+        trace = PathTrace(
+            "t",
+            [
+                entry("writer", 0, 8, write=True),
+                entry("reader", 0, 8, cpu_changed=True, miss_level=CacheLevel.FOREIGN),
+            ],
+            frequency=10,
+        )
+        mc = MissClassifier(self.quiet_sim()).classify("t", [trace])
+        assert mc.dominant == MissClass.TRUE_SHARING
+
+    def test_false_sharing_detected(self):
+        # Remote write to bytes 0-8; miss on bytes 32-40 of the same line.
+        trace = PathTrace(
+            "t",
+            [
+                entry("writer", 0, 8, write=True),
+                entry("reader", 32, 40, cpu_changed=True, miss_level=CacheLevel.FOREIGN),
+            ],
+            frequency=10,
+        )
+        mc = MissClassifier(self.quiet_sim()).classify("t", [trace])
+        assert mc.dominant == MissClass.FALSE_SHARING
+
+    def test_same_epoch_write_is_not_invalidation(self):
+        trace = PathTrace(
+            "t",
+            [
+                entry("writer", 0, 8, write=True),
+                entry("reader", 0, 8, miss_level=CacheLevel.DRAM),  # same CPU
+            ],
+            frequency=10,
+        )
+        mc = MissClassifier(self.quiet_sim()).classify("t", [trace])
+        assert mc.dominant in (MissClass.OTHER, MissClass.CAPACITY)
+
+    def test_capacity_when_sets_uniformly_pressured(self):
+        sim = self.quiet_sim()
+        sim.distinct_lines_per_set = {i: 10 for i in range(16)}
+        trace = PathTrace(
+            "t", [entry("reader", 0, 8, miss_level=CacheLevel.DRAM)], frequency=5
+        )
+        mc = MissClassifier(sim).classify("t", [trace])
+        assert mc.dominant == MissClass.CAPACITY
+
+    def test_conflict_when_type_in_hot_sets(self):
+        from collections import Counter
+
+        sim = self.quiet_sim()
+        sim.distinct_lines_per_set = {0: 40, 1: 2, 2: 2, 3: 2}
+        sim.set_type_instances = {0: Counter({"t": 30})}
+        trace = PathTrace(
+            "t", [entry("reader", 0, 8, miss_level=CacheLevel.L3)], frequency=5
+        )
+        mc = MissClassifier(sim).classify("t", [trace])
+        assert mc.dominant == MissClass.CONFLICT
+
+    def test_no_misses_no_weights(self):
+        trace = PathTrace("t", [entry("reader", 0, 8)], frequency=5)
+        mc = MissClassifier(self.quiet_sim()).classify("t", [trace])
+        assert mc.total == 0
+        assert mc.dominant == MissClass.OTHER
+        assert mc.share(MissClass.CAPACITY) == 0.0
+
+
+class TestDataFlowView:
+    def make_traces(self):
+        tx_path = PathTrace(
+            "skbuff",
+            [
+                entry("udp_sendmsg", t=10),
+                entry("pfifo_fast_enqueue", t=20, write=True),
+                entry(
+                    "pfifo_fast_dequeue",
+                    t=30,
+                    cpu_changed=True,
+                    miss_level=CacheLevel.FOREIGN,
+                ),
+                entry("dev_hard_start_xmit", t=40),
+            ],
+            frequency=90,
+        )
+        rx_path = PathTrace(
+            "skbuff",
+            [entry("udp_rcv", t=5), entry("udp_recvmsg", t=15)],
+            frequency=10,
+        )
+        return [tx_path, rx_path]
+
+    def test_graph_structure(self):
+        view = DataFlowView("skbuff", self.make_traces())
+        assert "udp_sendmsg" in view.nodes
+        assert view.nodes["kalloc"].visits == 100
+        assert ("pfifo_fast_enqueue", "pfifo_fast_dequeue") in view.edges
+
+    def test_cpu_change_edges_marked(self):
+        view = DataFlowView("skbuff", self.make_traces())
+        bold = {(e.src, e.dst) for e in view.cpu_change_edges()}
+        assert ("pfifo_fast_enqueue", "pfifo_fast_dequeue") in bold
+
+    def test_hot_nodes(self):
+        view = DataFlowView("skbuff", self.make_traces())
+        hot = {n.name for n in view.hot_nodes(latency_threshold=100)}
+        assert "pfifo_fast_dequeue" in hot
+        assert "udp_sendmsg" not in hot
+
+    def test_functions_before_limits_search_scope(self):
+        view = DataFlowView("skbuff", self.make_traces())
+        before = view.functions_before("pfifo_fast_enqueue")
+        assert "udp_sendmsg" in before
+        assert "dev_hard_start_xmit" not in before
+
+    def test_dot_and_text_renderings(self):
+        view = DataFlowView("skbuff", self.make_traces())
+        dot = view.to_dot()
+        assert dot.startswith('digraph "skbuff"')
+        assert "penwidth=3" in dot  # bold cross-CPU edge
+        text = view.render_text()
+        assert "==CPU==>" in text
+        assert "[HOT]" in text

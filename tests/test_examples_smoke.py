@@ -1,0 +1,49 @@
+"""Smoke tests: the runnable examples execute end-to-end.
+
+Only the fast examples run here (the two full case studies take minutes
+and are exercised by the benchmark suite's equivalent fixtures).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"{name} missing"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart_runs_and_diagnoses(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "DATA PROFILE" in out
+    assert "true sharing" in out
+    assert "TRUE SHARING" in out
+    assert "CAPACITY" in out
+
+
+@pytest.mark.slow
+def test_miss_classification_tour_runs(capsys):
+    out = run_example("miss_classification_tour.py", capsys)
+    assert "TRUE SHARING" in out
+    assert "FALSE SHARING" in out
+    assert "CONFLICT" in out
+    assert "CAPACITY" in out
+    assert "shared_counter" in out
+
+
+def test_all_examples_importable_as_modules():
+    # Syntax/import sanity for every example, including the slow ones.
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        for path in sorted(EXAMPLES.glob("*.py")):
+            compile(path.read_text(), str(path), "exec")
+    finally:
+        sys.path.pop(0)

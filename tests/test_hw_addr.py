@@ -1,0 +1,69 @@
+"""Tests for address arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.addr import align_up, line_base, line_of, lines_spanned, page_of, set_index
+
+
+def test_line_of_and_base():
+    assert line_of(0, 64) == 0
+    assert line_of(63, 64) == 0
+    assert line_of(64, 64) == 1
+    assert line_base(130, 64) == 128
+
+
+def test_lines_spanned_single_line():
+    assert list(lines_spanned(0, 8, 64)) == [0]
+    assert list(lines_spanned(56, 8, 64)) == [0]
+
+
+def test_lines_spanned_straddles():
+    assert list(lines_spanned(60, 8, 64)) == [0, 1]
+    assert list(lines_spanned(0, 128, 64)) == [0, 1]
+    assert list(lines_spanned(0, 129, 64)) == [0, 1, 2]
+
+
+def test_zero_size_access_touches_one_line():
+    assert list(lines_spanned(100, 0, 64)) == [1]
+
+
+def test_set_index_wraps():
+    assert set_index(5, 4) == 1
+    assert set_index(4, 4) == 0
+
+
+def test_page_of():
+    assert page_of(0) == 0
+    assert page_of(4095) == 0
+    assert page_of(4096) == 1
+
+
+def test_align_up():
+    assert align_up(0, 64) == 0
+    assert align_up(1, 64) == 64
+    assert align_up(64, 64) == 64
+    with pytest.raises(ValueError):
+        align_up(10, 0)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**9),
+    st.integers(min_value=1, max_value=4096),
+)
+def test_lines_spanned_covers_range(addr, size):
+    lines = list(lines_spanned(addr, size, 64))
+    # First line contains addr; last contains the final byte.
+    assert lines[0] == addr // 64
+    assert lines[-1] == (addr + size - 1) // 64
+    # Contiguous.
+    assert lines == list(range(lines[0], lines[-1] + 1))
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.sampled_from([1, 2, 4, 8, 64, 4096]))
+def test_align_up_properties(addr, alignment):
+    aligned = align_up(addr, alignment)
+    assert aligned >= addr
+    assert aligned % alignment == 0
+    assert aligned - addr < alignment

@@ -1,0 +1,108 @@
+"""Tests for set-associative cache arrays and geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.hw.cache import CacheArray, CacheGeometry
+
+
+def test_geometry_derives_sets_and_lines():
+    g = CacheGeometry(size=16 * 1024, ways=8, line_size=64)
+    assert g.num_lines == 256
+    assert g.num_sets == 32
+    assert g.set_of(0) == 0
+    assert g.set_of(33) == 1
+
+
+def test_geometry_rejects_bad_shapes():
+    with pytest.raises(ConfigError):
+        CacheGeometry(size=1000, ways=8, line_size=64)  # not a multiple
+    with pytest.raises(ConfigError):
+        CacheGeometry(size=0, ways=8, line_size=64)
+    with pytest.raises(ConfigError):
+        CacheGeometry(size=1024, ways=-1, line_size=64)
+
+
+def test_lookup_miss_then_hit():
+    c = CacheArray(CacheGeometry(1024, 2, 64))
+    assert not c.lookup(5)
+    c.insert(5)
+    assert c.lookup(5)
+    assert c.hits == 1
+    assert c.misses == 1
+
+
+def test_lru_eviction_within_set():
+    # 2-way cache: third line in the same set evicts the least recent.
+    g = CacheGeometry(size=2 * 64 * 4, ways=2, line_size=64)  # 4 sets
+    c = CacheArray(g)
+    nsets = g.num_sets
+    a, b, d = 0, nsets, 2 * nsets  # all map to set 0
+    c.insert(a)
+    c.insert(b)
+    assert c.insert(d) == a  # a is LRU
+    assert not c.contains(a)
+    assert c.contains(b) and c.contains(d)
+
+
+def test_lookup_refreshes_lru():
+    g = CacheGeometry(size=2 * 64 * 4, ways=2, line_size=64)
+    c = CacheArray(g)
+    nsets = g.num_sets
+    a, b, d = 0, nsets, 2 * nsets
+    c.insert(a)
+    c.insert(b)
+    c.lookup(a)  # a becomes most-recent
+    assert c.insert(d) == b
+
+
+def test_insert_existing_line_refreshes_without_eviction():
+    g = CacheGeometry(size=2 * 64 * 4, ways=2, line_size=64)
+    c = CacheArray(g)
+    nsets = g.num_sets
+    c.insert(0)
+    c.insert(nsets)
+    assert c.insert(0) is None  # refresh, no eviction
+    assert c.occupancy() == 2
+
+
+def test_remove_and_clear():
+    c = CacheArray(CacheGeometry(1024, 2, 64))
+    c.insert(1)
+    assert c.remove(1)
+    assert not c.remove(1)
+    c.insert(2)
+    c.clear()
+    assert c.occupancy() == 0
+
+
+def test_set_occupancy_tracks_per_set():
+    g = CacheGeometry(size=4 * 64 * 8, ways=4, line_size=64)  # 8 sets
+    c = CacheArray(g)
+    c.insert(0)
+    c.insert(8)
+    c.insert(1)
+    assert c.set_occupancy(0) == 2
+    assert c.set_occupancy(1) == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=500))
+def test_occupancy_never_exceeds_capacity(lines):
+    g = CacheGeometry(size=8 * 64 * 4, ways=4, line_size=64)
+    c = CacheArray(g)
+    for line in lines:
+        c.insert(line)
+        assert c.occupancy() <= g.num_lines
+        for s in range(g.num_sets):
+            assert c.set_occupancy(s) <= g.ways
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300))
+def test_most_recent_insert_always_resident(lines):
+    g = CacheGeometry(size=2 * 64 * 8, ways=2, line_size=64)
+    c = CacheArray(g)
+    for line in lines:
+        c.insert(line)
+        assert c.contains(line)

@@ -1,0 +1,92 @@
+"""Tests for the IBS sampling unit in isolation."""
+
+from repro.hw.events import AccessResult, CacheLevel, Instr
+from repro.hw.ibs import IbsUnit
+from repro.util.rng import DeterministicRng
+
+
+def make_unit(interval, handler):
+    unit = IbsUnit(cpu=0, rng=DeterministicRng(3, "ibs"))
+    unit.configure(interval, handler)
+    return unit
+
+
+def run_instructions(unit, n, with_memory=True):
+    overhead = 0
+    for i in range(n):
+        instr = Instr("load", "fn", 42, addr=0x1000 + i * 8, size=8)
+        result = AccessResult(level=CacheLevel.L1, latency=3) if with_memory else None
+        overhead += unit.on_instruction(instr, result, cycle=i)
+    return overhead
+
+
+def test_disabled_unit_never_fires():
+    samples = []
+    unit = make_unit(0, samples.append)
+    assert run_instructions(unit, 100) == 0
+    assert samples == []
+
+
+def test_no_handler_never_fires():
+    unit = IbsUnit(cpu=0, rng=DeterministicRng(3, "x"))
+    unit.configure(10, None)
+    assert not unit.enabled
+
+
+def test_sampling_rate_approximates_interval():
+    samples = []
+    unit = make_unit(50, samples.append)
+    run_instructions(unit, 5000)
+    # ~100 expected with jitter; allow a generous band.
+    assert 60 <= len(samples) <= 140
+
+
+def test_sample_carries_instruction_details():
+    samples = []
+    unit = make_unit(5, samples.append)
+    run_instructions(unit, 30)
+    s = samples[0]
+    assert s.cpu == 0
+    assert s.ip == 42
+    assert s.fn == "fn"
+    assert s.level == CacheLevel.L1
+    assert s.latency == 3
+    assert s.is_memory
+    assert not s.l1_miss
+
+
+def test_non_memory_samples_have_no_cache_data():
+    samples = []
+    unit = make_unit(3, samples.append)
+    for i in range(20):
+        unit.on_instruction(Instr("exec", "fn", 1, work=5), None, cycle=i)
+    assert samples
+    assert all(s.level is None and not s.is_memory for s in samples)
+
+
+def test_interrupt_cost_charged_per_sample():
+    samples = []
+    unit = make_unit(10, samples.append)
+    overhead = run_instructions(unit, 500)
+    assert overhead == len(samples) * unit.interrupt_cycles
+
+
+def test_l1_miss_property():
+    samples = []
+    unit = make_unit(1, samples.append)
+    instr = Instr("load", "fn", 1, addr=0x100, size=8)
+    # Interval 1 with jitter may need a couple of instructions to fire.
+    for _ in range(5):
+        unit.on_instruction(
+            instr, AccessResult(level=CacheLevel.FOREIGN, latency=200), cycle=0
+        )
+    assert samples and samples[0].l1_miss
+
+
+def test_reconfigure_resets_countdown():
+    samples = []
+    unit = make_unit(1000, samples.append)
+    run_instructions(unit, 10)
+    unit.configure(2, samples.append)
+    run_instructions(unit, 20)
+    assert len(samples) >= 5

@@ -1,0 +1,51 @@
+"""Tests for the address-space region allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.hw.memory import AddressSpace
+
+
+def test_regions_do_not_overlap():
+    space = AddressSpace()
+    regions = [(space.alloc_region(100, align=64), 100) for _ in range(20)]
+    spans = sorted((base, base + size) for base, size in regions)
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+        assert a_hi <= b_lo
+
+
+def test_alignment_honoured():
+    space = AddressSpace()
+    space.alloc_region(7, align=1)
+    base = space.alloc_region(64, align=4096)
+    assert base % 4096 == 0
+
+
+def test_zero_size_rejected():
+    space = AddressSpace()
+    with pytest.raises(AllocationError):
+        space.alloc_region(0)
+
+
+def test_limit_enforced():
+    space = AddressSpace(base=0x1000, limit=0x2000)
+    space.alloc_region(0x800, align=64)
+    with pytest.raises(AllocationError):
+        space.alloc_region(0x1000, align=64)
+
+
+def test_region_containing():
+    space = AddressSpace()
+    base = space.alloc_region(128, align=64, label="mine")
+    found = space.region_containing(base + 64)
+    assert found is not None
+    assert found[0] == base
+    assert found[2] == "mine"
+    assert space.region_containing(base + 4096 * 10) is None
+
+
+def test_bytes_allocated_accounts_for_padding():
+    space = AddressSpace(base=0)
+    space.alloc_region(1, align=1)
+    space.alloc_region(1, align=4096)
+    assert space.bytes_allocated >= 4096

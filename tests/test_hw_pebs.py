@@ -1,0 +1,112 @@
+"""Tests for the PEBS sampling unit and its HITM counters."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.machine import MachineConfig
+from repro.hw.pebs import PebsEvent, PebsUnit
+from repro.kernel import Kernel, StructType
+
+THING = StructType("pthing", [("a", 8), ("b", 8)], object_size=64)
+
+
+def make_kernel(ncores=2):
+    return Kernel(MachineConfig(ncores=ncores, seed=13))
+
+
+def traffic(kernel, obj, cpu, n=600, write=False):
+    env = kernel.env
+
+    def body():
+        for _ in range(n):
+            if write:
+                yield env.write("writer", obj, "a")
+            else:
+                yield env.read("reader", obj, "a")
+
+    return body()
+
+
+def test_event_kind_validation():
+    with pytest.raises(ConfigError):
+        PebsEvent(kind="branches")
+
+
+def test_interval_validation():
+    k = make_kernel()
+    with pytest.raises(ConfigError):
+        PebsUnit(k.machine, PebsEvent(), interval=0, handler=lambda s: None)
+
+
+def test_loads_event_skips_stores():
+    k = make_kernel()
+    obj = k.slab.new_static(THING, "t")
+    samples = []
+    unit = PebsUnit(k.machine, PebsEvent(kind="loads"), 10, samples.append)
+    unit.attach()
+    k.spawn("r", 0, traffic(k, obj, 0, write=False))
+    k.spawn("w", 1, traffic(k, obj, 1, write=True))
+    k.run()
+    unit.detach()
+    assert samples
+    assert all(not s.is_write for s in samples)
+
+
+def test_latency_threshold_filters_fast_hits():
+    k = make_kernel()
+    obj = k.slab.new_static(THING, "t")
+    samples = []
+    # Only accesses slower than 100 cycles match (load-latency facility).
+    unit = PebsUnit(
+        k.machine, PebsEvent(kind="all", latency_threshold=100), 1, samples.append
+    )
+    unit.attach()
+    # Ping-pong between cores: the foreign transfers exceed the threshold.
+    k.spawn("a", 0, traffic(k, obj, 0, n=200, write=True))
+    k.spawn("b", 1, traffic(k, obj, 1, n=200, write=True))
+    k.run()
+    unit.detach()
+    assert samples
+    assert all(s.latency >= 100 for s in samples)
+    assert any(s.hitm for s in samples)
+
+
+def test_hitm_counters_track_shared_line():
+    k = make_kernel()
+    obj = k.slab.new_static(THING, "t")
+    unit = PebsUnit(k.machine, PebsEvent(), 10**9, lambda s: None)
+    unit.attach()
+    k.spawn("a", 0, traffic(k, obj, 0, n=200, write=True))
+    k.spawn("b", 1, traffic(k, obj, 1, n=200, write=True))
+    k.run()
+    unit.detach()
+    line = obj.base // 64
+    assert unit.hitm_by_line[line] > 20
+    suspects = unit.sharing_suspect_lines()
+    assert suspects and suspects[0][0] == line
+
+
+def test_sampling_charges_overhead():
+    k = make_kernel()
+    obj = k.slab.new_static(THING, "t")
+    unit = PebsUnit(k.machine, PebsEvent(kind="all"), 5, lambda s: None)
+    unit.attach()
+    k.spawn("r", 0, traffic(k, obj, 0, n=500))
+    k.run()
+    unit.detach()
+    assert unit.samples_taken > 20
+    assert (
+        k.machine.cores[0].overhead_cycles
+        == unit.samples_taken * unit.interrupt_cycles
+    )
+
+
+def test_detach_stops_sampling():
+    k = make_kernel()
+    obj = k.slab.new_static(THING, "t")
+    unit = PebsUnit(k.machine, PebsEvent(kind="all"), 5, lambda s: None)
+    unit.attach()
+    unit.detach()
+    k.spawn("r", 0, traffic(k, obj, 0, n=100))
+    k.run()
+    assert unit.samples_taken == 0

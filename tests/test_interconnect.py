@@ -1,0 +1,23 @@
+"""Tests for the interconnect cost model."""
+
+from repro.hw.interconnect import InterconnectCosts
+
+
+def test_broadcast_scales_with_cores():
+    costs = InterconnectCosts()
+    assert costs.broadcast_cost(16) > costs.broadcast_cost(4)
+    # The defaults reproduce the paper's ~130k-cycle 16-core broadcast.
+    assert 100_000 <= costs.broadcast_cost(16) <= 160_000
+
+
+def test_object_setup_matches_paper_magnitude():
+    costs = InterconnectCosts()
+    # Paper: ~220,000 cycles to set up an object for profiling.
+    assert 180_000 <= costs.object_setup_cost(16) <= 260_000
+    assert costs.object_setup_cost(16) == costs.reserve_object + costs.broadcast_cost(16)
+
+
+def test_custom_costs():
+    costs = InterconnectCosts(ipi_base=10, ipi_per_core=5, reserve_object=100)
+    assert costs.broadcast_cost(2) == 20
+    assert costs.object_setup_cost(2) == 120

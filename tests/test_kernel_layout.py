@@ -1,0 +1,84 @@
+"""Tests for struct layout and kernel objects."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.kernel.layout import KObject, StructType
+
+
+def test_sequential_layout_with_alignment():
+    t = StructType("x", [("a", 4), ("b", 8), ("c", 2), ("d", 4)])
+    assert t.field("a").offset == 0
+    assert t.field("b").offset == 8  # aligned up from 4
+    assert t.field("c").offset == 16
+    assert t.field("d").offset == 20  # aligned to 4 after a 2-byte field
+    assert t.size == 24
+
+
+def test_object_size_padding():
+    t = StructType("skbuff", [("a", 8)], object_size=256)
+    assert t.size == 256
+
+
+def test_object_size_too_small_rejected():
+    with pytest.raises(ConfigError):
+        StructType("x", [("a", 64)], object_size=32)
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(ConfigError):
+        StructType("x", [("a", 4), ("a", 4)])
+
+
+def test_field_at_offset():
+    t = StructType("x", [("a", 4), ("b", 8)])
+    assert t.field_at(0).name == "a"
+    assert t.field_at(3).name == "a"
+    assert t.field_at(8).name == "b"
+    assert t.field_at(4) is None  # alignment padding
+    assert t.field_at(100) is None
+
+
+def test_unknown_field_raises():
+    t = StructType("x", [("a", 4)])
+    with pytest.raises(ConfigError):
+        t.field("nope")
+
+
+def test_kobject_field_addresses():
+    t = StructType("x", [("a", 4), ("b", 8)], object_size=64)
+    obj = KObject(t, 0x1000)
+    assert obj.field_addr("a") == (0x1000, 4)
+    assert obj.field_addr("b") == (0x1008, 8)
+    assert obj.end == 0x1040
+
+
+def test_kobject_offset_range_bounds():
+    t = StructType("x", [("a", 8)], object_size=64)
+    obj = KObject(t, 0x1000)
+    assert obj.offset_addr(60, 4) == (0x103C, 4)
+    with pytest.raises(ConfigError):
+        obj.offset_addr(60, 8)  # past the object end
+    with pytest.raises(ConfigError):
+        obj.offset_addr(-1, 4)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**6),
+            st.sampled_from([1, 2, 4, 8, 16, 48]),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_fields_never_overlap(raw_fields):
+    fields = [(f"f{i}", size) for i, (_, size) in enumerate(raw_fields)]
+    t = StructType("t", fields)
+    ordered = t.ordered_fields()
+    for a, b in zip(ordered, ordered[1:]):
+        assert a.end <= b.offset
+    assert t.size >= ordered[-1].end

@@ -1,0 +1,247 @@
+"""Integration tests for the simulated network stack."""
+
+import pytest
+
+from repro.hw.events import Pause
+from repro.hw.machine import MachineConfig
+from repro.kernel import Kernel
+from repro.kernel.net import NetStack
+from repro.kernel.net.stack import Arrival
+from repro.kernel.net.tcp import (
+    ListenSock,
+    inet_csk_accept,
+    tcp_close,
+    tcp_recvmsg,
+    tcp_sendmsg,
+    tcp_v4_rcv,
+)
+from repro.kernel.net.types import MMAP_FILE_TYPE
+from repro.kernel.net.udp import udp_rcv, udp_recvmsg, udp_sendmsg, udp_sock_create
+
+
+def make_stack(ncores=4, seed=7):
+    k = Kernel(MachineConfig(ncores=ncores, seed=seed))
+    return k, NetStack(k)
+
+
+def drive(kernel, cpu, gen):
+    out = {}
+
+    def wrapper():
+        out["value"] = yield from gen
+
+    kernel.spawn("drv", cpu, wrapper())
+    kernel.run()
+    return out.get("value")
+
+
+# ----------------------------------------------------------------------
+# UDP path
+# ----------------------------------------------------------------------
+
+
+class TestUdpPath:
+    def setup_method(self):
+        self.k, self.stack = make_stack()
+        self.sock = drive(self.k, 0, udp_sock_create(self.stack, 0, 11211))
+        self.stack.deliver = self._deliver
+
+    def _deliver(self, stack, cpu, rxq, skb, arrival):
+        yield from udp_rcv(stack, cpu, self.sock, skb)
+
+    def test_rx_delivers_to_socket(self):
+        self.stack.dev.rx_queues[0].arrivals.append(Arrival(due=0, flow_hash=5))
+        rx = self.stack.dev.rx_queues[0]
+        drive(self.k, 0, self.stack.ixgbe_clean_rx_irq(0, rx))
+        assert len(self.sock.receive_queue) == 1
+        assert self.stack.rx_processed == 1
+
+    def test_recvmsg_consumes_and_frees(self):
+        self.stack.dev.rx_queues[0].arrivals.append(Arrival(due=0, flow_hash=5))
+        rx = self.stack.dev.rx_queues[0]
+        drive(self.k, 0, self.stack.ixgbe_clean_rx_irq(0, rx))
+        skb = drive(self.k, 0, udp_recvmsg(self.stack, 0, self.sock))
+        assert skb is not None
+        assert not skb.obj.alive  # skb freed after copy-out
+        assert not skb.payload.alive
+        assert len(self.sock.receive_queue) == 0
+
+    def test_recvmsg_empty_returns_none(self):
+        assert drive(self.k, 0, udp_recvmsg(self.stack, 0, self.sock)) is None
+
+    def test_sendmsg_enqueues_on_hashed_queue(self):
+        skb = drive(self.k, 0, udp_sendmsg(self.stack, 0, self.sock, 128, flow_hash=7))
+        assert skb.sock is self.sock
+        expected_queue = 7 % self.stack.dev.num_queues
+        assert len(self.stack.dev.tx_queues[expected_queue].qdisc.skbs) == 1
+
+    def test_tx_completion_frees_and_notifies(self):
+        completions = []
+        self.stack.on_tx_complete_cb = lambda skb, cpu: completions.append(cpu)
+        drive(self.k, 0, udp_sendmsg(self.stack, 0, self.sock, 128, flow_hash=3))
+        txq = self.stack.dev.tx_queues[3]
+
+        def drain():
+            from repro.kernel.net.netdevice import ixgbe_clean_tx_irq, qdisc_run
+
+            yield from qdisc_run(self.stack, 3, self.stack.dev, txq)
+            yield from ixgbe_clean_tx_irq(self.stack, 3, self.stack.dev, txq)
+
+        drive(self.k, 3, drain())
+        assert completions == [3]
+        assert self.stack.tx_completed == 1
+
+    def test_remote_tx_causes_alien_frees(self):
+        # Response hashed to core 5 (a different NUMA node than core 0):
+        # freeing at TX-completion time takes the SLAB alien path.
+        k, stack = make_stack(ncores=8)
+        sock = drive(k, 0, udp_sock_create(stack, 0, 11211))
+        drive(k, 0, udp_sendmsg(stack, 0, sock, 128, flow_hash=5))
+        txq = stack.dev.tx_queues[5]
+
+        def drain():
+            from repro.kernel.net.netdevice import ixgbe_clean_tx_irq, qdisc_run
+
+            yield from qdisc_run(stack, 5, stack.dev, txq)
+            yield from ixgbe_clean_tx_irq(stack, 5, stack.dev, txq)
+
+        drive(k, 5, drain())
+        assert stack.skbuff_cache.alien_frees == 1
+        assert stack.size1024_cache.alien_frees == 1
+
+
+# ----------------------------------------------------------------------
+# TX queue selection
+# ----------------------------------------------------------------------
+
+
+def test_select_queue_override_keeps_local():
+    k, stack = make_stack()
+    sock = drive(k, 0, udp_sock_create(stack, 0, 11211))
+
+    def local_queue(stack_, cpu, dev, skb):
+        yield stack_.env.work("ixgbe_select_queue", 2)
+        return cpu
+
+    stack.dev.select_queue = local_queue
+    drive(k, 0, udp_sendmsg(stack, 0, sock, 128, flow_hash=9))
+    assert len(stack.dev.tx_queues[0].qdisc.skbs) == 1  # local, not 9 % n
+
+
+# ----------------------------------------------------------------------
+# TCP path
+# ----------------------------------------------------------------------
+
+
+class TestTcpPath:
+    def setup_method(self):
+        self.k, self.stack = make_stack()
+        self.listener = ListenSock(self.stack, 0, 80, backlog=4)
+        self.file = self.k.slab.new_static(MMAP_FILE_TYPE, "file.0")
+
+    def _arrive(self, flow_hash=1):
+        def body():
+            from repro.kernel.net.skbuff import alloc_skb
+
+            skb = yield from alloc_skb(self.stack, 0, 64)
+            skb.flow_hash = flow_hash
+            conn = yield from tcp_v4_rcv(self.stack, 0, self.listener, skb, flow_hash)
+            return conn
+
+        return drive(self.k, 0, body())
+
+    def test_syn_creates_connection_on_queue(self):
+        conn = self._arrive()
+        assert conn is not None
+        assert conn.obj.otype.name == "tcp_sock"
+        assert len(self.listener.accept_queue) == 1
+
+    def test_backlog_overflow_drops(self):
+        for i in range(4):
+            assert self._arrive(flow_hash=i) is not None
+        dropped = self._arrive(flow_hash=99)
+        assert dropped is None
+        assert self.listener.dropped == 1
+        assert len(self.listener.accept_queue) == 4
+
+    def test_accept_pops_fifo(self):
+        c1 = self._arrive(flow_hash=1)
+        c2 = self._arrive(flow_hash=2)
+        got = drive(self.k, 0, inet_csk_accept(self.stack, 0, self.listener))
+        assert got is c1
+        got2 = drive(self.k, 0, inet_csk_accept(self.stack, 0, self.listener))
+        assert got2 is c2
+        assert drive(self.k, 0, inet_csk_accept(self.stack, 0, self.listener)) is None
+
+    def test_full_request_lifecycle(self):
+        conn = self._arrive(flow_hash=2)
+        got = drive(self.k, 0, inet_csk_accept(self.stack, 0, self.listener))
+        assert got is conn
+
+        def serve():
+            yield from tcp_recvmsg(self.stack, 0, conn)
+            yield from tcp_sendmsg(self.stack, 0, conn, 1024, self.file)
+            yield from tcp_close(self.stack, 0, conn)
+
+        drive(self.k, 0, serve())
+        assert not conn.obj.alive  # tcp_sock freed
+        # Response used a fast-clone skbuff hashed to queue 2 (flow hash).
+        assert len(self.stack.dev.tx_queues[2].qdisc.skbs) == 1
+        assert self.stack.fclone_cache.total_allocs == 1
+
+    def test_tcp_response_stays_on_flow_queue(self):
+        # flow_hash == rx core means tx is local: no bounce for TCP.
+        conn = self._arrive(flow_hash=0)
+        drive(self.k, 0, inet_csk_accept(self.stack, 0, self.listener))
+
+        def serve():
+            yield from tcp_recvmsg(self.stack, 0, conn)
+            yield from tcp_sendmsg(self.stack, 0, conn, 1024, self.file)
+
+        drive(self.k, 0, serve())
+        assert len(self.stack.dev.tx_queues[0].qdisc.skbs) == 1
+
+
+# ----------------------------------------------------------------------
+# Softirq loops end to end
+# ----------------------------------------------------------------------
+
+
+def test_closed_loop_udp_echo_end_to_end():
+    k, stack = make_stack(ncores=2)
+    socks = {}
+
+    def setup(cpu):
+        socks[cpu] = yield from udp_sock_create(stack, cpu, 11211 + cpu)
+
+    for cpu in range(2):
+        k.spawn(f"setup{cpu}", cpu, setup(cpu))
+    k.run()
+
+    def deliver(stack_, cpu, rxq, skb, arrival):
+        yield from udp_rcv(stack_, cpu, socks[cpu], skb)
+
+    stack.deliver = deliver
+    served = [0]
+
+    def server(cpu):
+        while True:
+            skb = yield from udp_recvmsg(stack, cpu, socks[cpu])
+            if skb is None:
+                yield Pause(200)
+                continue
+            yield from udp_sendmsg(stack, cpu, socks[cpu], 128, flow_hash=skb.flow_hash)
+            served[0] += 1
+
+    for cpu in range(2):
+        for i in range(50):
+            stack.dev.rx_queues[cpu].arrivals.append(
+                Arrival(due=i * 800, flow_hash=cpu + 2 * i)
+            )
+    stack.spawn_softirq_threads()
+    for cpu in range(2):
+        k.spawn(f"srv{cpu}", cpu, server(cpu))
+    k.run(until_cycle=300_000)
+    assert stack.rx_processed == 100
+    assert served[0] > 50
+    assert stack.tx_completed > 50

@@ -1,0 +1,122 @@
+"""Focused tests for qdisc queues and the NIC device model."""
+
+from repro.hw.machine import MachineConfig
+from repro.kernel import Kernel
+from repro.kernel.net import NetStack
+from repro.kernel.net.netdevice import (
+    dev_queue_xmit,
+    ixgbe_clean_tx_irq,
+    qdisc_run,
+    skb_tx_hash,
+)
+from repro.kernel.net.qdisc import pfifo_fast_dequeue, pfifo_fast_enqueue
+from repro.kernel.net.skbuff import alloc_skb
+
+
+def make_stack(ncores=4):
+    k = Kernel(MachineConfig(ncores=ncores, seed=23))
+    return k, NetStack(k)
+
+
+def drive(kernel, cpu, gen):
+    out = {}
+
+    def wrapper():
+        out["value"] = yield from gen
+
+    kernel.spawn("d", cpu, wrapper())
+    kernel.run()
+    return out.get("value")
+
+
+def make_skb(kernel, stack, cpu=0, flow_hash=0):
+    skb = drive(kernel, cpu, alloc_skb(stack, cpu, 64))
+    skb.flow_hash = flow_hash
+    return skb
+
+
+class TestQdisc:
+    def test_fifo_order(self):
+        k, stack = make_stack()
+        q = stack.dev.tx_queues[0].qdisc
+        skbs = [make_skb(k, stack, flow_hash=i) for i in range(3)]
+
+        def body():
+            for skb in skbs:
+                yield from pfifo_fast_enqueue(stack, 0, q, skb)
+            out = []
+            for _ in range(3):
+                out.append((yield from pfifo_fast_dequeue(stack, 0, q)))
+            return out
+
+        out = drive(k, 0, body())
+        assert out == skbs
+
+    def test_dequeue_empty_returns_none(self):
+        k, stack = make_stack()
+        q = stack.dev.tx_queues[0].qdisc
+        assert drive(k, 0, pfifo_fast_dequeue(stack, 0, q)) is None
+
+    def test_queue_accesses_touch_qdisc_object(self):
+        k, stack = make_stack()
+        q = stack.dev.tx_queues[0].qdisc
+        skb = make_skb(k, stack)
+        touched = []
+        k.machine.add_access_observer(
+            lambda cpu, instr, result, cycle: touched.append(instr.addr)
+        )
+        drive(k, 0, pfifo_fast_enqueue(stack, 0, q, skb))
+        lo, hi = q.obj.base, q.obj.end
+        assert any(lo <= a < hi for a in touched)
+
+
+class TestNetDevice:
+    def test_tx_hash_spreads_across_queues(self):
+        k, stack = make_stack()
+        dev = stack.dev
+        chosen = set()
+        for flow in range(16):
+            skb = make_skb(k, stack, flow_hash=flow)
+            queue = drive(k, 0, skb_tx_hash(stack, 0, dev, skb))
+            chosen.add(queue)
+            assert 0 <= queue < dev.num_queues
+        assert len(chosen) == dev.num_queues  # 4 queues, 16 flows: all hit
+
+    def test_dev_queue_xmit_routes_by_hash(self):
+        k, stack = make_stack()
+        skb = make_skb(k, stack, flow_hash=3)
+        drive(k, 0, dev_queue_xmit(stack, 0, stack.dev, skb))
+        assert skb in stack.dev.tx_queues[3].qdisc.skbs
+
+    def test_xmit_updates_device_counters(self):
+        k, stack = make_stack()
+        skb = make_skb(k, stack, flow_hash=1)
+        drive(k, 0, dev_queue_xmit(stack, 0, stack.dev, skb))
+        txq = stack.dev.tx_queues[1]
+        sent = drive(k, 1, qdisc_run(stack, 1, stack.dev, txq))
+        assert sent
+        assert stack.dev.tx_count == 1
+        assert len(txq.completions) == 1
+
+    def test_clean_tx_reaps_all_completions(self):
+        k, stack = make_stack()
+        for flow in (1, 1, 1):
+            skb = make_skb(k, stack, flow_hash=flow)
+            drive(k, 0, dev_queue_xmit(stack, 0, stack.dev, skb))
+        txq = stack.dev.tx_queues[1]
+
+        def drain():
+            while txq.qdisc.skbs:
+                yield from qdisc_run(stack, 1, stack.dev, txq)
+            cleaned = yield from ixgbe_clean_tx_irq(stack, 1, stack.dev, txq)
+            return cleaned
+
+        cleaned = drive(k, 1, drain())
+        assert cleaned == 3
+        assert not txq.completions
+        assert stack.tx_completed == 3
+
+    def test_qdisc_run_empty_queue_returns_false(self):
+        k, stack = make_stack()
+        txq = stack.dev.tx_queues[2]
+        assert drive(k, 2, qdisc_run(stack, 2, stack.dev, txq)) is False

@@ -1,0 +1,217 @@
+"""Tests for the SLAB allocator: typing, recycling, alien frees, events."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.hw.machine import MachineConfig
+from repro.kernel import Kernel, StructType
+
+WIDGET = StructType("widget", [("a", 8), ("b", 8)], object_size=128)
+
+
+def make_kernel(ncores=2):
+    return Kernel(MachineConfig(ncores=ncores, seed=3))
+
+
+def run_gen(kernel, cpu, gen):
+    """Drive one kernel generator to completion; return its value."""
+    result = {}
+
+    def wrapper():
+        result["value"] = yield from gen
+
+    kernel.spawn("g", cpu, wrapper())
+    kernel.run()
+    return result.get("value")
+
+
+def test_alloc_returns_typed_live_object():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+    obj = run_gen(k, 0, cache.alloc(0))
+    assert obj.otype is WIDGET
+    assert obj.alive
+    assert obj.home_cpu == 0
+    assert obj.base % 1 == 0 and obj.base > 0
+
+
+def test_distinct_objects_distinct_addresses():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+
+    objs = []
+
+    def body():
+        for _ in range(40):
+            o = yield from cache.alloc(0)
+            objs.append(o)
+
+    k.spawn("t", 0, body())
+    k.run()
+    bases = [o.base for o in objs]
+    assert len(set(bases)) == 40
+    for a, b in zip(sorted(bases), sorted(bases)[1:]):
+        assert b - a >= WIDGET.size
+
+
+def test_free_and_recycle_bumps_cookie():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+    got = []
+
+    def body():
+        o1 = yield from cache.alloc(0)
+        c1 = o1.cookie
+        yield from cache.free(0, o1)
+        o2 = yield from cache.alloc(0)
+        got.append((o1, c1, o2))
+
+    k.spawn("t", 0, body())
+    k.run()
+    o1, c1, o2 = got[0]
+    assert o2.base == o1.base  # LIFO recycling of the per-core cache
+    assert o2.cookie == c1 + 1
+
+
+def test_double_free_raises():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+
+    def body():
+        o = yield from cache.alloc(0)
+        yield from cache.free(0, o)
+        with pytest.raises(AllocationError):
+            yield from cache.free(0, o)
+
+    k.spawn("t", 0, body())
+    k.run()
+
+
+def test_same_node_remote_free_is_not_alien():
+    # Cores 0 and 1 share a NUMA node (4 cores/node): freeing on a
+    # different core of the same node takes the local fast path.
+    k = make_kernel(ncores=2)
+    cache = k.slab.create_cache(WIDGET)
+    holder = []
+
+    def alloc_side():
+        o = yield from cache.alloc(0)
+        holder.append(o)
+
+    k.spawn("a", 0, alloc_side())
+    k.run()
+    k.spawn("f", 1, cache.free(1, holder[0]))
+    k.run()
+    assert cache.alien_frees == 0
+    assert not holder[0].alive
+
+
+def test_cross_node_free_takes_alien_path():
+    # Cores 0 and 4 are on different NUMA nodes (4 cores/node).
+    k = make_kernel(ncores=8)
+    cache = k.slab.create_cache(WIDGET)
+    holder = []
+
+    def alloc_side():
+        o = yield from cache.alloc(0)
+        holder.append(o)
+
+    k.spawn("a", 0, alloc_side())
+    k.run()
+    k.spawn("f", 4, cache.free(4, holder[0]))
+    k.run()
+    assert cache.alien_frees == 1
+    assert not holder[0].alive
+    assert k.slab.node_of(0) != k.slab.node_of(4)
+
+
+def test_find_object_resolves_interior_addresses():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+    obj = run_gen(k, 0, cache.alloc(0))
+    assert k.slab.find_object(obj.base) is obj
+    assert k.slab.find_object(obj.base + 77) is obj
+    assert k.slab.find_object(obj.base + WIDGET.size) is not obj
+
+
+def test_find_object_resolves_static_objects():
+    k = make_kernel()
+    obj = k.slab.new_static(WIDGET, "static-widget")
+    assert k.slab.find_object(obj.base + 5) is obj
+
+
+def test_find_object_unknown_address():
+    k = make_kernel()
+    assert k.slab.find_object(0x9999999) is None
+
+
+def test_allocator_bookkeeping_is_typed():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+    # array caches and list3 are real resolvable objects.
+    ac = cache.array_caches[0]
+    assert ac.otype.name == "array_cache"
+    assert k.slab.find_object(ac.base) is ac
+    run_gen(k, 0, cache.alloc(0))
+    slab_desc = cache.slabs[0].descriptor
+    assert slab_desc.otype.name == "slab"
+    assert k.slab.find_object(slab_desc.base) is slab_desc
+
+
+def test_alloc_free_events_fire():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+    allocs, frees = [], []
+    k.slab.add_alloc_listener(lambda obj, cpu, cycle: allocs.append((obj, cpu)))
+    k.slab.add_free_listener(lambda obj, cpu, cycle: frees.append((obj, cpu)))
+
+    def body():
+        o = yield from cache.alloc(0)
+        yield from cache.free(0, o)
+
+    k.spawn("t", 0, body())
+    k.run()
+    assert len(allocs) == 1 and len(frees) == 1
+    assert allocs[0][1] == 0
+
+
+def test_reservation_fires_once_for_next_alloc():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+    reserved = []
+    k.slab.reserve_next("widget", lambda obj, cpu, cycle: reserved.append(obj))
+
+    def body():
+        yield from cache.alloc(0)
+        yield from cache.alloc(0)
+
+    k.spawn("t", 0, body())
+    k.run()
+    assert len(reserved) == 1
+
+
+def test_kfree_routes_to_owning_cache():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+    obj = run_gen(k, 0, cache.alloc(0))
+    run_gen(k, 0, k.slab.kfree(0, obj))
+    assert not obj.alive
+    assert cache.total_frees == 1
+
+
+def test_slab_lock_contention_recorded():
+    k = make_kernel()
+    cache = k.slab.create_cache(WIDGET)
+
+    def churn(cpu):
+        for _ in range(120):
+            o = yield from cache.alloc(cpu)
+            yield from cache.free(cpu, o)
+
+    k.spawn("a", 0, churn(0))
+    k.spawn("b", 1, churn(1))
+    k.run()
+    stats = {s.name: s for s in k.lockstat.all_stats()}
+    node_locks = [n for n in stats if n.startswith("SLAB cache lock (widget")]
+    assert node_locks
+    assert sum(stats[n].acquisitions for n in node_locks) > 0

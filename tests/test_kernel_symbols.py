@@ -1,0 +1,48 @@
+"""Tests for the symbol table."""
+
+import pytest
+
+from repro.errors import ResolveError
+from repro.kernel.symbols import SymbolTable
+
+
+def test_ip_is_stable_per_site():
+    t = SymbolTable()
+    ip1 = t.ip_for("dev_queue_xmit", "R.skbuff.len")
+    ip2 = t.ip_for("dev_queue_xmit", "R.skbuff.len")
+    assert ip1 == ip2
+
+
+def test_distinct_sites_get_distinct_ips():
+    t = SymbolTable()
+    a = t.ip_for("fn", "site-a")
+    b = t.ip_for("fn", "site-b")
+    assert a != b
+
+
+def test_distinct_functions_get_distinct_regions():
+    t = SymbolTable()
+    a = t.ip_for("fn_a", "s")
+    b = t.ip_for("fn_b", "s")
+    assert abs(a - b) >= 4096 - 16
+
+
+def test_resolve_roundtrip():
+    t = SymbolTable()
+    ip = t.ip_for("udp_recvmsg", "R.udp_sock.rmem_alloc")
+    assert t.resolve(ip) == "udp_recvmsg"
+    assert t.resolve_site(ip) == ("udp_recvmsg", "R.udp_sock.rmem_alloc")
+
+
+def test_resolve_unknown_ip_raises():
+    t = SymbolTable()
+    with pytest.raises(ResolveError):
+        t.resolve(12345)
+    assert t.try_resolve(12345) is None
+
+
+def test_functions_listing():
+    t = SymbolTable()
+    t.ip_for("a", "x")
+    t.ip_for("b", "y")
+    assert set(t.functions()) == {"a", "b"}

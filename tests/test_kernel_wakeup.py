@@ -1,0 +1,101 @@
+"""Tests for the wakeup machinery: wait queues, epoll, futexes."""
+
+from repro.hw.machine import MachineConfig
+from repro.kernel import Kernel
+from repro.kernel.net import NetStack
+from repro.kernel.net.wakeup import (
+    EventPoll,
+    Futex,
+    WaitQueue,
+    ep_poll_callback,
+    futex_wait,
+    futex_wake,
+    sys_epoll_wait,
+    wake_up_sync_key,
+)
+
+
+def make_stack(ncores=2):
+    k = Kernel(MachineConfig(ncores=ncores, seed=19))
+    return k, NetStack(k)
+
+
+def drive(kernel, cpu, gen):
+    out = {}
+
+    def wrapper():
+        out["value"] = yield from gen
+
+    kernel.spawn("d", cpu, wrapper())
+    kernel.run()
+    return out.get("value")
+
+
+def test_epoll_callback_queues_ready_source():
+    k, stack = make_stack()
+    ep = EventPoll(stack, "t")
+    drive(k, 0, ep_poll_callback(stack, 0, ep, "sock-a"))
+    drive(k, 0, ep_poll_callback(stack, 0, ep, "sock-b"))
+    ready = drive(k, 0, sys_epoll_wait(stack, 0, ep))
+    assert ready == ["sock-a", "sock-b"]
+    # The ready list is drained.
+    assert drive(k, 0, sys_epoll_wait(stack, 0, ep)) == []
+
+
+def test_epoll_lock_stats_recorded():
+    k, stack = make_stack()
+    ep = EventPoll(stack, "t")
+    drive(k, 0, ep_poll_callback(stack, 0, ep, "s"))
+    drive(k, 0, sys_epoll_wait(stack, 0, ep))
+    stats = {s.name for s in k.lockstat.all_stats()}
+    assert "epoll lock" in stats
+    assert "wait queue lock" in stats  # the callback wakes the waitqueue
+
+
+def test_wait_queue_wakeup_touches_queue_head():
+    k, stack = make_stack()
+    wq = WaitQueue(stack, "t")
+    seen = []
+    k.machine.add_access_observer(
+        lambda cpu, instr, result, cycle: seen.append(instr.addr)
+    )
+    drive(k, 0, wake_up_sync_key(stack, 0, wq))
+    head_addr, _size = wq.obj.field_addr("task_list_head")
+    assert head_addr in seen
+
+
+def test_futex_wait_wake_pair():
+    k, stack = make_stack()
+    futex = Futex(stack, "t")
+    drive(k, 0, futex_wait(stack, 0, futex))
+    drive(k, 1, futex_wake(stack, 1, futex))
+    stat = k.lockstat.stat("futex lock")
+    assert stat.acquisitions == 2
+    callers = set(stat.acquirer_functions.keys())
+    assert {"futex_wait", "futex_wake"} <= callers
+
+
+def test_futex_objects_are_typed_and_resolvable():
+    k, stack = make_stack()
+    futex = Futex(stack, "t")
+    obj = k.slab.find_object(futex.obj.base + 4)
+    assert obj is futex.obj
+    assert obj.otype.name == "futex"
+
+
+def test_cross_core_wakeup_bounces_the_queue_lock():
+    k, stack = make_stack()
+    wq = WaitQueue(stack, "t")
+
+    def waker(cpu, times):
+        for _ in range(times):
+            yield from wake_up_sync_key(stack, cpu, wq)
+            # Think time keeps both cores' clocks advancing together so
+            # their wakeups genuinely interleave.
+            yield k.env.work("caller", 60)
+
+    k.spawn("a", 0, waker(0, 30))
+    k.spawn("b", 1, waker(1, 30))
+    k.run()
+    # The lock word line moved between cores: invalidations happened.
+    assert k.machine.hierarchy.directory.invalidation_count > 5

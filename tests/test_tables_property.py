@@ -1,0 +1,46 @@
+"""Property-based tests for the text table renderer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.tables import TextTable
+
+cell = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=20,
+)
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.lists(cell, min_size=1, max_size=5), min_size=0, max_size=10),
+)
+def test_render_never_crashes_and_aligns(ncols, raw_rows):
+    headers = [f"col{i}" for i in range(ncols)]
+    table = TextTable(headers)
+    for raw in raw_rows:
+        cells = (raw + [""] * ncols)[:ncols]
+        table.add_row(*cells)
+    out = table.render()
+    # header + separator + rows (a fully-blank row still takes a line;
+    # count newlines since splitlines drops a trailing empty line).
+    assert out.count("\n") == 1 + len(raw_rows)
+    lines = out.splitlines()
+    # Separator made only of dashes and spacing.
+    assert set(lines[1]) <= {"-", " "}
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=12))
+def test_numeric_columns_right_align_consistently(values):
+    table = TextTable(["n"])
+    for v in values:
+        table.add_row(str(v))
+    lines = table.render().splitlines()[2:]
+    # All numeric cells end at the same column.
+    ends = {len(line) for line in lines}
+    widths = {len(line.rstrip()) for line in lines}
+    assert len(ends) == 1 or len(widths) >= 1  # right-aligned block
+    longest = max(len(str(v)) for v in values)
+    for line, v in zip(lines, values):
+        assert line.endswith(str(v))
+        assert len(line) == max(longest, 1)

@@ -1,0 +1,48 @@
+"""Tests for the deterministic RNG streams."""
+
+from repro.util.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7, "x")
+    b = DeterministicRng(7, "x")
+    assert [a.randint(0, 100) for _ in range(20)] == [
+        b.randint(0, 100) for _ in range(20)
+    ]
+
+
+def test_different_labels_differ():
+    a = DeterministicRng(7, "x")
+    b = DeterministicRng(7, "y")
+    assert [a.randint(0, 10**6) for _ in range(8)] != [
+        b.randint(0, 10**6) for _ in range(8)
+    ]
+
+
+def test_child_streams_are_independent_of_draw_order():
+    root = DeterministicRng(3)
+    child_first = root.child("ibs")
+    seq1 = [child_first.randint(0, 10**6) for _ in range(5)]
+
+    root2 = DeterministicRng(3)
+    root2.randint(0, 100)  # extra draw on the parent must not matter
+    child_second = root2.child("ibs")
+    seq2 = [child_second.randint(0, 10**6) for _ in range(5)]
+    assert seq1 == seq2
+
+
+def test_jitter_stays_positive_and_near_base():
+    rng = DeterministicRng(1)
+    for _ in range(100):
+        v = rng.jitter(1000, fraction=0.25)
+        assert 750 <= v <= 1250
+    assert rng.jitter(0) == 0
+    assert rng.jitter(1) >= 1
+
+
+def test_choice_and_sample():
+    rng = DeterministicRng(5)
+    seq = [10, 20, 30]
+    assert rng.choice(seq) in seq
+    picked = rng.sample(list(range(100)), 10)
+    assert len(set(picked)) == 10

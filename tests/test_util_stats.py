@@ -1,0 +1,86 @@
+"""Tests for streaming statistics helpers."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import Histogram, OnlineStats, mean, weighted_mean
+
+
+def test_online_stats_basic():
+    s = OnlineStats()
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        s.add(v)
+    assert s.count == 4
+    assert math.isclose(s.mean, 2.5)
+    assert s.min == 1.0
+    assert s.max == 4.0
+    assert math.isclose(s.variance, 1.25)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+def test_online_stats_matches_direct_computation(values):
+    s = OnlineStats()
+    for v in values:
+        s.add(v)
+    direct_mean = sum(values) / len(values)
+    assert math.isclose(s.mean, direct_mean, rel_tol=1e-9, abs_tol=1e-6)
+    assert s.min == min(values)
+    assert s.max == max(values)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=50),
+    st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=50),
+)
+def test_online_stats_merge_equals_combined(xs, ys):
+    a = OnlineStats()
+    b = OnlineStats()
+    combined = OnlineStats()
+    for v in xs:
+        a.add(v)
+        combined.add(v)
+    for v in ys:
+        b.add(v)
+        combined.add(v)
+    a.merge(b)
+    assert a.count == combined.count
+    assert math.isclose(a.mean, combined.mean, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(a.variance, combined.variance, rel_tol=1e-6, abs_tol=1e-3)
+
+
+def test_merge_with_empty_sides():
+    a = OnlineStats()
+    b = OnlineStats()
+    b.add(5.0)
+    a.merge(b)
+    assert a.count == 1 and a.mean == 5.0
+    empty = OnlineStats()
+    a.merge(empty)
+    assert a.count == 1
+
+
+def test_histogram_shares_and_top():
+    h = Histogram()
+    h.add("a", 3)
+    h.add("b", 1)
+    assert h.total == 4
+    assert h.share("a") == 0.75
+    assert h.share("missing") == 0.0
+    assert h.top(1) == [("a", 3)]
+    assert len(h) == 2
+    assert h.count("b") == 1
+
+
+def test_histogram_empty_share_is_zero():
+    h = Histogram()
+    assert h.share("x") == 0.0
+    assert h.total == 0
+
+
+def test_mean_helpers():
+    assert mean([]) == 0.0
+    assert mean([2, 4]) == 3.0
+    assert weighted_mean([]) == 0.0
+    assert weighted_mean([(10, 1), (20, 3)]) == 17.5

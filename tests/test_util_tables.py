@@ -1,0 +1,44 @@
+"""Tests for the text table renderer."""
+
+import pytest
+
+from repro.util.tables import TextTable, format_bytes, format_percent
+
+
+def test_table_renders_headers_and_rows():
+    t = TextTable(["Type", "Misses"], title="Data profile")
+    t.add_row("skbuff", "5.20%")
+    t.add_row("size-1024", "45.40%")
+    out = t.render()
+    assert "Data profile" in out
+    assert "skbuff" in out
+    assert "45.40%" in out
+    # Header separator present
+    assert "---" in out
+
+
+def test_table_rejects_wrong_arity():
+    t = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row("only-one")
+
+
+def test_numeric_cells_right_aligned():
+    t = TextTable(["name", "value"])
+    t.add_row("x", "1")
+    t.add_row("longer-name", "100")
+    lines = t.render().splitlines()
+    # The numeric column is right-aligned: "1" ends at same column as "100".
+    assert lines[-1].endswith("100")
+    assert lines[-2].endswith("  1")
+
+
+def test_format_bytes_matches_thesis_style():
+    assert format_bytes(128) == "128B"
+    assert format_bytes(2.55 * 1024 * 1024) == "2.55MB"
+    assert format_bytes(2048) == "2.00KB"
+
+
+def test_format_percent():
+    assert format_percent(0.4540) == "45.40%"
+    assert format_percent(0.1, digits=0) == "10%"

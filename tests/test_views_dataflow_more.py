@@ -1,0 +1,63 @@
+"""Additional data-flow view coverage: successors, empty graphs, weights."""
+
+from repro.dprof.records import PathTrace, PathTraceEntry
+from repro.dprof.views import DataFlowView
+
+
+def entry(fn, cpu_changed=False, t=0.0):
+    return PathTraceEntry(
+        ip=abs(hash(fn)) % 10**6,
+        fn=fn,
+        cpu_changed=cpu_changed,
+        offsets=(0, 8),
+        is_write=False,
+        mean_time=t,
+    )
+
+
+def test_empty_traces_give_terminal_only_graph():
+    view = DataFlowView("t", [])
+    assert set(view.nodes) == {"kalloc", "kfree"}
+    assert view.edges == {}
+    assert view.cpu_change_edges() == []
+    assert view.render_text().startswith("Data flow view for t")
+
+
+def test_successors_sorted_by_weight():
+    heavy = PathTrace("t", [entry("a"), entry("b")], frequency=10)
+    light = PathTrace("t", [entry("a"), entry("c")], frequency=2)
+    view = DataFlowView("t", [heavy, light])
+    succ = view.successors("a")
+    assert [e.dst for e in succ] == ["b", "c"]
+    assert succ[0].count == 10
+
+
+def test_shared_prefix_merges_into_one_node():
+    p1 = PathTrace("t", [entry("common"), entry("left")], frequency=3)
+    p2 = PathTrace("t", [entry("common"), entry("right")], frequency=4)
+    view = DataFlowView("t", [p1, p2])
+    assert view.nodes["common"].visits == 7
+    assert view.edges[("kalloc", "common")].count == 7
+    assert {e.dst for e in view.successors("common")} == {"left", "right"}
+
+
+def test_self_transition_cpu_change_recorded():
+    p = PathTrace(
+        "t", [entry("spin"), entry("spin", cpu_changed=True)], frequency=5
+    )
+    view = DataFlowView("t", [p])
+    assert ("spin", "spin") in view.edges
+    assert view.edges[("spin", "spin")].cpu_change
+
+
+def test_functions_before_unknown_node_is_empty():
+    view = DataFlowView("t", [PathTrace("t", [entry("a")], frequency=1)])
+    assert view.functions_before("nonexistent") == set()
+
+
+def test_dot_escaping_and_structure():
+    view = DataFlowView("my type", [PathTrace("my type", [entry("fn")], frequency=1)])
+    dot = view.to_dot()
+    assert dot.startswith('digraph "my type"')
+    assert dot.rstrip().endswith("}")
+    assert '"kalloc" -> "fn"' in dot

@@ -1,0 +1,28 @@
+"""Tests for shared workload plumbing."""
+
+from repro.workloads.base import RequestCounter, WorkloadResult
+
+
+def test_throughput_computation():
+    r = WorkloadResult(requests_completed=500, elapsed_cycles=1_000_000)
+    assert r.throughput == 500.0
+    empty = WorkloadResult(requests_completed=0, elapsed_cycles=0)
+    assert empty.throughput == 0.0
+
+
+def test_request_counter_tracks_per_core():
+    c = RequestCounter(4)
+    c.bump(0)
+    c.bump(0)
+    c.bump(3)
+    assert c.total == 3
+    assert c.per_core[0] == 2
+    assert c.per_core[3] == 1
+    assert c.per_core[1] == 0
+
+
+def test_request_counter_accepts_unknown_core():
+    c = RequestCounter(2)
+    c.bump(7)
+    assert c.per_core[7] == 1
+    assert c.total == 1
