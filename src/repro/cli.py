@@ -10,6 +10,12 @@ Usage::
 print the data profile plus throughput (with or without the paper's
 fixes); ``diagnose`` runs the automated diagnosis pipeline against the
 misconfigured memcached workload.
+
+Every command accepts ``--inject-faults SPEC`` (e.g.
+``--inject-faults ibs_drop=0.1,history_truncation=0.2,seed=7``) to run
+the pipeline over deterministically lossy hardware; the run then prints a
+data-quality report and the exit code reflects the damage (0 = full data,
+3 = degraded, 4 = less than half the intended data survived).
 """
 
 from __future__ import annotations
@@ -18,20 +24,48 @@ import argparse
 import sys
 
 from repro.baselines import LockStatReport
-from repro.dprof import Diagnosis, DProf, DProfConfig
+from repro.dprof import DataQuality, Diagnosis, DProf, DProfConfig
+from repro.errors import FaultInjectionError
+from repro.faults import FaultPlan
 from repro.fixes import apply_admission_control, install_local_queue_selection
 from repro.hw.machine import MachineConfig
 from repro.kernel import Kernel
 from repro.workloads import ApacheConfig, ApacheWorkload, MemcachedWorkload
 
 
-def _profiled_memcached(cores: int, fixed: bool, duration: int, interval: int):
+def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    """Parse --inject-faults; exits with a usage error on a bad spec."""
+    spec = getattr(args, "inject_faults", None)
+    if not spec:
+        return None
+    try:
+        return FaultPlan.parse(spec)
+    except FaultInjectionError as exc:
+        raise SystemExit(f"--inject-faults: {exc}")
+
+
+def _report_quality(dprof: DProf, plan: FaultPlan | None) -> int:
+    """Print the quality report when faulted; return the session exit code."""
+    quality: DataQuality = dprof.data_quality()
+    if plan is not None or quality.degraded:
+        print()
+        print(quality.render())
+    return quality.exit_code()
+
+
+def _profiled_memcached(
+    cores: int,
+    fixed: bool,
+    duration: int,
+    interval: int,
+    faults: FaultPlan | None = None,
+):
     kernel = Kernel(MachineConfig(ncores=cores, seed=11))
     workload = MemcachedWorkload(kernel)
     workload.setup()
     if fixed:
         install_local_queue_selection(workload.stack.dev)
-    dprof = DProf(kernel, DProfConfig(ibs_interval=interval))
+    dprof = DProf(kernel, DProfConfig(ibs_interval=interval), faults=faults)
     dprof.attach()
     result = workload.run(duration, warmup_cycles=duration // 5)
     dprof.detach()
@@ -39,8 +73,9 @@ def _profiled_memcached(cores: int, fixed: bool, duration: int, interval: int):
 
 
 def cmd_memcached(args: argparse.Namespace) -> int:
+    plan = _fault_plan(args)
     kernel, _workload, dprof, result = _profiled_memcached(
-        args.cores, args.fixed, args.duration, args.interval
+        args.cores, args.fixed, args.duration, args.interval, faults=plan
     )
     label = "fixed (local TX queues)" if args.fixed else "stock (skb_tx_hash)"
     print(f"memcached on {args.cores} cores, {label}")
@@ -49,10 +84,11 @@ def cmd_memcached(args: argparse.Namespace) -> int:
     print(dprof.data_profile().render(args.top))
     print()
     print(LockStatReport(kernel.lockstat, kernel.machine.total_cycles()).render(5))
-    return 0
+    return _report_quality(dprof, plan)
 
 
 def cmd_apache(args: argparse.Namespace) -> int:
+    plan = _fault_plan(args)
     kernel = Kernel(MachineConfig(ncores=args.cores, seed=11))
     workload = ApacheWorkload(
         kernel, config=ApacheConfig(arrival_period=args.period)
@@ -60,7 +96,7 @@ def cmd_apache(args: argparse.Namespace) -> int:
     workload.setup()
     if args.admission:
         apply_admission_control(workload.listeners.values(), args.admission)
-    dprof = DProf(kernel, DProfConfig(ibs_interval=args.interval))
+    dprof = DProf(kernel, DProfConfig(ibs_interval=args.interval), faults=plan)
     dprof.attach()
     result = workload.run(args.duration, warmup_cycles=args.duration)
     dprof.detach()
@@ -73,16 +109,17 @@ def cmd_apache(args: argparse.Namespace) -> int:
     print(f"connections dropped: {workload.total_dropped()}")
     print()
     print(dprof.data_profile().render(args.top))
-    return 0
+    return _report_quality(dprof, plan)
 
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
+    plan = _fault_plan(args)
     kernel = Kernel(MachineConfig(ncores=args.cores, seed=52))
     workload = MemcachedWorkload(kernel)
     workload.setup()
     workload.start()
     kernel.run(until_cycle=150_000)
-    dprof = DProf(kernel, DProfConfig(ibs_interval=args.interval))
+    dprof = DProf(kernel, DProfConfig(ibs_interval=args.interval), faults=plan)
     dprof.attach()
     kernel.run(until_cycle=kernel.elapsed_cycles() + 600_000)
     dprof.collect_histories(
@@ -94,7 +131,7 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     )
     dprof.detach()
     print(Diagnosis(dprof).render(args.top))
-    return 0
+    return _report_quality(dprof, plan)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,12 +141,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_fault_flag(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--inject-faults",
+            metavar="SPEC",
+            default=None,
+            help=(
+                "deterministic fault plan, e.g. "
+                "ibs_drop=0.1,history_truncation=0.2,seed=7 "
+                "(models: ibs_drop, ibs_latency, debugreg_steal, "
+                "trap_miss, history_truncation)"
+            ),
+        )
+
     mc = sub.add_parser("memcached", help="run the Section 6.1 workload")
     mc.add_argument("--cores", type=int, default=8)
     mc.add_argument("--fixed", action="store_true", help="apply the +57%% fix")
     mc.add_argument("--duration", type=int, default=600_000)
     mc.add_argument("--interval", type=int, default=400)
     mc.add_argument("--top", type=int, default=8)
+    add_fault_flag(mc)
     mc.set_defaults(func=cmd_memcached)
 
     ap = sub.add_parser("apache", help="run the Section 6.2 workload")
@@ -119,12 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--duration", type=int, default=1_000_000)
     ap.add_argument("--interval", type=int, default=400)
     ap.add_argument("--top", type=int, default=8)
+    add_fault_flag(ap)
     ap.set_defaults(func=cmd_apache)
 
     dg = sub.add_parser("diagnose", help="automated diagnosis on memcached")
     dg.add_argument("--cores", type=int, default=8)
     dg.add_argument("--interval", type=int, default=300)
     dg.add_argument("--top", type=int, default=6)
+    add_fault_flag(dg)
     dg.set_defaults(func=cmd_diagnose)
     return parser
 

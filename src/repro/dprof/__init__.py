@@ -30,6 +30,7 @@ from repro.dprof.records import (
 )
 from repro.dprof.profiler import DProf, DProfConfig
 from repro.dprof.diagnosis import Diagnosis, Finding
+from repro.dprof.quality import DataQuality
 
 __all__ = [
     "AccessSample",
@@ -41,6 +42,7 @@ __all__ = [
     "PathTraceEntry",
     "DProf",
     "DProfConfig",
+    "DataQuality",
     "Diagnosis",
     "Finding",
 ]

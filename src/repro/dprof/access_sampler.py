@@ -19,6 +19,11 @@ from repro.hw.ibs import IbsSample
 from repro.hw.machine import Machine
 from repro.util.stats import Histogram
 
+#: Latency sanity bound: no real memory access costs this much, so a
+#: sample above it is a corrupted register read (racy MSR, injected
+#: fault) and is rejected rather than poisoning the latency means.
+MAX_PLAUSIBLE_LATENCY = 50_000
+
 
 class AccessSampleCollector:
     """Collects and aggregates typed access samples from IBS."""
@@ -43,6 +48,7 @@ class AccessSampleCollector:
         self.max_resident_samples = max_resident_samples
         self.samples: list[AccessSample] = []
         self.samples_spilled = 0
+        self.samples_rejected = 0
         self.stats: dict[tuple[str, int, int], AccessStats] = {}
         self.type_misses = Histogram()
         self.type_samples = Histogram()
@@ -65,6 +71,9 @@ class AccessSampleCollector:
 
     def _on_sample(self, sample: IbsSample) -> None:
         if not sample.is_memory:
+            return
+        if sample.latency > MAX_PLAUSIBLE_LATENCY or sample.latency < 0:
+            self.samples_rejected += 1
             return
         res = self.resolver.resolve(sample.addr)
         if res is None:

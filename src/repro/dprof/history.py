@@ -25,7 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.dprof.records import HistoryElement, ObjectAccessHistory
-from repro.errors import ProfilingError
+from repro.errors import ProfilingError, SimulationError
 from repro.hw.debugreg import MAX_WATCH_BYTES
 from repro.hw.machine import Machine
 from repro.kernel.layout import KObject
@@ -37,6 +37,16 @@ from repro.kernel.slab import SlabSystem
 DEFAULT_CHUNK_SIZE = 4
 
 
+#: How many times an incomplete job (stolen register, truncated history)
+#: is retried before its partial data is accepted as-is.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base retry backoff in simulated cycles; attempt N waits N times this
+#: long before re-reserving, so a persistently contended register does
+#: not livelock the collector.
+DEFAULT_RETRY_BACKOFF_CYCLES = 50_000
+
+
 @dataclass(slots=True)
 class HistoryJob:
     """One scheduled monitoring job: chunks of the next object of a type."""
@@ -44,6 +54,7 @@ class HistoryJob:
     type_name: str
     chunks: tuple[tuple[int, int], ...]  # (offset, length) per debug register
     set_index: int
+    attempt: int = 0
 
 
 @dataclass
@@ -97,20 +108,32 @@ class HistoryCollector:
         machine: Machine,
         slab: SlabSystem,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff_cycles: int = DEFAULT_RETRY_BACKOFF_CYCLES,
     ) -> None:
         self.machine = machine
         self.slab = slab
         self.chunk_size = chunk_size
+        self.max_retries = max_retries
+        self.retry_backoff_cycles = retry_backoff_cycles
+        #: Consulted per armed object when a fault plan is active.
+        self.faults = None
         self.histories: list[ObjectAccessHistory] = []
         self.jobs: deque[HistoryJob] = deque()
         self.overhead = OverheadBreakdown()
         self.jobs_completed = 0
         self.jobs_abandoned = 0
+        self.jobs_retried = 0
+        self.histories_partial = 0
+        self.arm_attempts = 0
+        self.arm_failures = 0
         self.started_cycle: int | None = None
         self.finished_cycle: int | None = None
         self._current_job: HistoryJob | None = None
         self._current_history: ObjectAccessHistory | None = None
         self._current_obj: KObject | None = None
+        self._truncate_after: int | None = None
+        self._retry_queue: list[tuple[HistoryJob, int]] = []
         self._watches: list = []
         self._free_listener_installed = False
         self._reservation_pending = False
@@ -156,8 +179,12 @@ class HistoryCollector:
 
     @property
     def done(self) -> bool:
-        """True once every scheduled job has completed."""
-        return not self.jobs and self._current_job is None
+        """True once every scheduled job has completed (retries included)."""
+        return (
+            not self.jobs
+            and not self._retry_queue
+            and self._current_job is None
+        )
 
     # ------------------------------------------------------------------
     # Collection lifecycle
@@ -196,11 +223,13 @@ class HistoryCollector:
         self._current_history = None
         self._current_obj = None
         self._current_job = None
+        self._truncate_after = None
 
     def finalize(self) -> None:
         """Stop collecting: disarm watches, drop incomplete state."""
         self.abandon_current()
         self.jobs.clear()
+        self._retry_queue.clear()
         self.slab.cancel_reservations()
         if self._free_listener_installed:
             self.slab.remove_free_listener(self._on_free)
@@ -208,15 +237,58 @@ class HistoryCollector:
         self.finished_cycle = self.machine.elapsed_cycles()
 
     def _next_job(self) -> None:
+        self._promote_ready_retries()
         if not self.jobs:
             self._current_job = None
-            if self.finished_cycle is None and self.jobs_completed:
+            if (
+                self.finished_cycle is None
+                and self.jobs_completed
+                and not self._retry_queue
+            ):
                 self.finished_cycle = self.machine.elapsed_cycles()
             return
         job = self.jobs.popleft()
         self._current_job = job
         self._reservation_pending = True
         self.slab.reserve_next(job.type_name, self._on_reserved_alloc)
+
+    def _promote_ready_retries(self) -> None:
+        """Move retry jobs whose backoff has expired back onto the queue."""
+        if not self._retry_queue:
+            return
+        now = self.machine.elapsed_cycles()
+        still_waiting = []
+        for job, ready_cycle in self._retry_queue:
+            if ready_cycle <= now:
+                self.jobs.append(job)
+            else:
+                still_waiting.append((job, ready_cycle))
+        self._retry_queue = still_waiting
+
+    def _requeue_or_finish(self, job: HistoryJob, cycle: int, partial) -> None:
+        """Retry an incomplete job, or accept what it gathered.
+
+        Bounded retry-with-backoff: attempt N waits N * backoff simulated
+        cycles before re-reserving.  Once retries are exhausted, a partial
+        history (if any) is kept -- marked truncated, counted in
+        ``histories_partial`` -- rather than silently discarded; with no
+        partial data the job counts as abandoned.
+        """
+        if job.attempt < self.max_retries:
+            self.jobs_retried += 1
+            retry = HistoryJob(
+                job.type_name, job.chunks, job.set_index, attempt=job.attempt + 1
+            )
+            backoff = self.retry_backoff_cycles * (job.attempt + 1)
+            self._retry_queue.append((retry, cycle + backoff))
+            return
+        if partial is not None:
+            partial.truncated = True
+            self.histories.append(partial)
+            self.histories_partial += 1
+            self.jobs_completed += 1
+        else:
+            self.jobs_abandoned += 1
 
     def _on_reserved_alloc(self, obj: KObject, cpu: int, cycle: int) -> None:
         job = self._current_job
@@ -245,13 +317,30 @@ class HistoryCollector:
             alloc_cycle=cycle,
             set_index=job.set_index,
         )
+        self.arm_attempts += 1
+        self._truncate_after = (
+            self.faults.truncation_point() if self.faults is not None else None
+        )
+        try:
+            for offset, length in job.chunks:
+                watch = self.machine.watches.arm_all_cores(
+                    obj.base + offset, length, self._on_trap
+                )
+                self._watches.append(watch)
+        except SimulationError:
+            # Register stolen (or none free): give the job back to the
+            # scheduler instead of crashing the collection run.
+            self._disarm()
+            self.arm_failures += 1
+            self._current_history = None
+            self._current_obj = None
+            self._current_job = None
+            self._truncate_after = None
+            self._requeue_or_finish(job, cycle, None)
+            self._next_job()
+            return
         self._current_history = history
         self._current_obj = obj
-        for offset, length in job.chunks:
-            watch = self.machine.watches.arm_all_cores(
-                obj.base + offset, length, self._on_trap
-            )
-            self._watches.append(watch)
 
     def _on_trap(self, cpu: int, instr, result, cycle: int) -> None:
         history = self._current_history
@@ -268,20 +357,40 @@ class HistoryCollector:
                 is_write=instr.is_write,
             )
         )
+        if (
+            self._truncate_after is not None
+            and len(history.elements) >= self._truncate_after
+        ):
+            # Injected truncation: the watch is revoked mid-lifetime.  Stop
+            # recording but keep tracking the object so its free still
+            # closes the job (and decides retry vs keep-partial).
+            history.truncated = True
+            self._truncate_after = None
+            self._disarm()
 
     def _on_free(self, obj: KObject, cpu: int, cycle: int) -> None:
         current = self._current_obj
         if current is None or obj is not current:
+            # Every free is also the collector's clock pulse: it is the
+            # only callback guaranteed to keep firing, so use it to kick
+            # off retry jobs whose backoff has expired.
+            if self._current_job is None and (self.jobs or self._retry_queue):
+                self._next_job()
             return
         history = self._current_history
+        job = self._current_job
         history.free_cycle = cycle
         history.free_cpu = cpu
-        self.histories.append(history)
-        self.jobs_completed += 1
         self._disarm()
         self._current_history = None
         self._current_obj = None
         self._current_job = None
+        self._truncate_after = None
+        if history.truncated:
+            self._requeue_or_finish(job, cycle, history)
+        else:
+            self.histories.append(history)
+            self.jobs_completed += 1
         self._next_job()
 
     def _disarm(self) -> None:

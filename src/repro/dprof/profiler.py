@@ -23,6 +23,7 @@ from repro.dprof.access_sampler import AccessSampleCollector
 from repro.dprof.cachesim import DProfCacheSim, WorkingSetSimResult
 from repro.dprof.history import DEFAULT_CHUNK_SIZE, HistoryCollector
 from repro.dprof.pathtrace import PathTraceBuilder
+from repro.dprof.quality import DataQuality
 from repro.dprof.records import AddressSet, PathTrace
 from repro.dprof.resolver import TypeResolver
 from repro.dprof.views import (
@@ -35,6 +36,7 @@ from repro.dprof.views import (
     WorkingSetView,
 )
 from repro.errors import ProfilingError
+from repro.faults import FaultPlan
 from repro.hw.cache import CacheGeometry
 from repro.kernel.kernel import Kernel
 from repro.kernel.layout import KObject
@@ -70,7 +72,12 @@ class DProfConfig:
 class DProf:
     """Data-oriented profiler over a simulated kernel."""
 
-    def __init__(self, kernel: Kernel, config: DProfConfig | None = None) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: DProfConfig | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self.kernel = kernel
         self.config = config or DProfConfig()
         self.machine = kernel.machine
@@ -84,11 +91,16 @@ class DProf:
         self.history = HistoryCollector(
             self.machine, kernel.slab, chunk_size=self.config.chunk_size
         )
+        #: Active fault plan (None = perfect hardware).  The injector is
+        #: built once per profiler so its counters cover the whole session.
+        self.fault_plan = faults
+        self.fault_injector = faults.build() if faults is not None else None
         self.address_set = AddressSet()
         self.rng = DeterministicRng(self.config.seed, "dprof")
         self.attached = False
         self.profile_start_cycle = 0
         self.profile_end_cycle = 0
+        self._ibs_base = (0, 0, 0)
         self._type_descriptions: dict[str, str] = {}
         self._type_sizes: dict[str, int] = {}
         self._traces_cache: dict[str, list[PathTrace]] = {}
@@ -103,6 +115,12 @@ class DProf:
         if self.attached:
             raise ProfilingError("DProf already attached")
         self.attached = True
+        if self.fault_injector is not None:
+            self.machine.install_faults(self.fault_injector)
+            self.history.faults = self.fault_injector
+        # Baseline the hardware counters so quality reports cover only
+        # this session even when the machine was profiled before.
+        self._ibs_base = self.machine.ibs_delivery_counts()
         self.profile_start_cycle = self.machine.elapsed_cycles()
         self._snapshot_live_objects()
         self.kernel.slab.add_alloc_listener(self._on_alloc)
@@ -132,6 +150,9 @@ class DProf:
         self.profile_end_cycle = self.machine.elapsed_cycles()
         self.sampler.stop()
         self.history.finalize()
+        if self.fault_injector is not None:
+            self.machine.clear_faults()
+            self.history.faults = None
         self.kernel.slab.remove_alloc_listener(self._on_alloc)
         self.kernel.slab.remove_free_listener(self._on_free)
         self._traces_cache.clear()
@@ -237,6 +258,48 @@ class DProf:
         return self._sim_cache
 
     # ------------------------------------------------------------------
+    # Data quality
+    # ------------------------------------------------------------------
+
+    def data_quality(self) -> DataQuality:
+        """The session's structured loss/confidence report.
+
+        Counts only this session's samples (hardware counters are
+        baselined at attach) and folds in the history collector's retry
+        bookkeeping plus the fault injector's own counters when a plan is
+        active.
+        """
+        delivered, dropped, corrupted = self.machine.ibs_delivery_counts()
+        base_delivered, base_dropped, base_corrupted = self._ibs_base
+        history = self.history
+        quality = DataQuality(
+            samples_delivered=delivered - base_delivered,
+            samples_dropped=dropped - base_dropped,
+            samples_corrupted=corrupted - base_corrupted,
+            samples_rejected=self.sampler.samples_rejected,
+            histories_complete=history.jobs_completed - history.histories_partial,
+            histories_partial=history.histories_partial,
+            histories_abandoned=history.jobs_abandoned,
+            history_retries=history.jobs_retried,
+            history_attempts=history.arm_attempts,
+            watch_trap_misses=self.machine.watches.traps_missed,
+            debug_slot_steals=self.machine.watches.arm_steals,
+        )
+        if self.fault_injector is not None:
+            quality.history_truncations = (
+                self.fault_injector.counters.history_truncations
+            )
+            quality.notes = (self.fault_plan.describe(),)
+        return quality
+
+    def _attach_quality(self, view, name: str):
+        """Stamp a view with the session's quality report; warn if partial."""
+        quality = self.data_quality()
+        view.quality = quality
+        quality.warn_if_degraded(f"{name} view")
+        return view
+
+    # ------------------------------------------------------------------
     # The four views
     # ------------------------------------------------------------------
 
@@ -277,7 +340,8 @@ class DProf:
                     sample_count=self.sampler.type_samples.count(type_name),
                 )
             )
-        return DataProfileView(rows, self.sampler.total_l1_misses)
+        view = DataProfileView(rows, self.sampler.total_l1_misses)
+        return self._attach_quality(view, "data profile")
 
     def _static_bytes(self, type_name: str) -> float:
         """Footprint for types never slab-allocated (static objects)."""
@@ -312,13 +376,16 @@ class DProf:
                     mean_resident_lines=sim.mean_resident_lines.get(type_name, 0.0),
                 )
             )
-        return WorkingSetView(rows, sim, window_cycles=end - start)
+        view = WorkingSetView(rows, sim, window_cycles=end - start)
+        return self._attach_quality(view, "working set")
 
     def miss_classification(self, type_name: str) -> MissClassification:
         """The miss classification view for one type (Section 4.3)."""
         classifier = MissClassifier(self.working_set_sim())
-        return classifier.classify(type_name, self.path_traces(type_name))
+        view = classifier.classify(type_name, self.path_traces(type_name))
+        return self._attach_quality(view, "miss classification")
 
     def data_flow(self, type_name: str) -> DataFlowView:
         """The data flow view for one type (Section 4.4 / Figure 6-1)."""
-        return DataFlowView(type_name, self.path_traces(type_name))
+        view = DataFlowView(type_name, self.path_traces(type_name))
+        return self._attach_quality(view, "data flow")

@@ -74,11 +74,15 @@ class ObjectAccessHistory:
     #: Which history set this history belongs to (Figure 6-3 counts the
     #: unique paths captured as a function of sets collected).
     set_index: int = 0
+    #: True when recording stopped before the object died (the watch was
+    #: revoked mid-lifetime); the elements are a prefix of the real
+    #: history and downstream consumers weight them accordingly.
+    truncated: bool = False
 
     @property
     def complete(self) -> bool:
-        """True once the object has been freed (history fully recorded)."""
-        return self.free_cycle is not None
+        """True once the object was freed with recording still active."""
+        return self.free_cycle is not None and not self.truncated
 
     @property
     def is_pair(self) -> bool:

@@ -7,15 +7,26 @@ session's raw data (aggregated sample statistics, object access
 histories, the address set, and the symbol map) serializes to JSON, and
 an :class:`OfflineSession` rebuilds every DProf view from the file alone
 -- profile on one machine, analyze anywhere.
+
+Because archives cross machine boundaries they also see storage faults:
+torn writes and flipped bytes.  Format version 2 therefore carries a
+SHA-256 checksum per bulk section, validated on load.  A section that
+fails its checksum (or fails to parse) is dropped and reported in the
+session's :class:`~repro.dprof.quality.DataQuality` -- best-effort
+partial recovery -- while structurally unusable files (bad JSON, unknown
+version, corrupt core metadata) raise
+:class:`~repro.errors.SessionFormatError` naming the path and section.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
 from repro.dprof.cachesim import DProfCacheSim, WorkingSetSimResult
 from repro.dprof.pathtrace import PathTraceBuilder
+from repro.dprof.quality import DataQuality
 from repro.dprof.records import (
     AccessStats,
     AddressSet,
@@ -29,13 +40,34 @@ from repro.dprof.views import (
     MissClassification,
     MissClassifier,
 )
-from repro.errors import ProfilingError
+from repro.errors import SessionFormatError
 from repro.hw.cache import CacheGeometry
 from repro.hw.events import CacheLevel
 from repro.kernel.symbols import SymbolTable
 from repro.util.rng import DeterministicRng
 
-FORMAT_VERSION = 1
+#: v1 = no checksums (pre-robustness archives, still loadable);
+#: v2 = per-section SHA-256 checksums + embedded data-quality report.
+FORMAT_VERSION = 2
+
+#: The bulk sections covered by checksums and partial recovery.  Core
+#: metadata (window, geometry, miss totals) is small and load-bearing:
+#: if it is corrupt the archive is unusable and loading raises.
+CHECKSUMMED_SECTIONS = ("stats", "histories", "address_set", "symbols")
+
+#: Empty replacement for each recoverable section that fails to verify.
+_EMPTY_SECTION = {
+    "stats": [],
+    "histories": [],
+    "address_set": [],
+    "symbols": {},
+}
+
+
+def section_checksum(section) -> str:
+    """SHA-256 over the section's canonical JSON encoding."""
+    canonical = json.dumps(section, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -72,6 +104,7 @@ def export_session(dprof) -> dict:
                 "free_cycle": h.free_cycle,
                 "free_cpu": h.free_cpu,
                 "set_index": h.set_index,
+                "truncated": int(h.truncated),
                 "elements": [
                     [el.offset, el.ip, el.cpu, el.time, int(el.is_write)]
                     for el in h.elements
@@ -94,7 +127,7 @@ def export_session(dprof) -> dict:
         str(ip): list(sym) for ip, sym in dprof.kernel.symbols._ip_to_sym.items()
     }
     cfg = dprof.machine.config
-    return {
+    blob = {
         "version": FORMAT_VERSION,
         "window": [dprof.profile_start_cycle, dprof.profile_end_cycle],
         "total_l1_misses": sampler.total_l1_misses,
@@ -117,7 +150,12 @@ def export_session(dprof) -> dict:
         "symbols": symbols_blob,
         "sim_geometry": [cfg.l2_size, cfg.l2_ways, cfg.line_size],
         "chunk_size": dprof.config.chunk_size,
+        "data_quality": dprof.data_quality().to_blob(),
     }
+    blob["checksums"] = {
+        name: section_checksum(blob[name]) for name in CHECKSUMMED_SECTIONS
+    }
+    return blob
 
 
 def save_session(dprof, path: str | Path) -> Path:
@@ -153,29 +191,84 @@ class _OfflineSampler:
 
 
 class OfflineSession:
-    """Rebuilds DProf's views from a serialized session archive."""
+    """Rebuilds DProf's views from a serialized session archive.
 
-    def __init__(self, blob: dict) -> None:
-        if blob.get("version") != FORMAT_VERSION:
-            raise ProfilingError(
-                f"unsupported session format {blob.get('version')!r}"
+    Loading is best-effort: bulk sections that fail checksum validation
+    or parsing are dropped (recorded in :attr:`data_quality`), the rest
+    of the archive still loads, and every rebuilt view carries the
+    quality report.  Corrupt core metadata raises
+    :class:`~repro.errors.SessionFormatError` instead.
+    """
+
+    def __init__(self, blob: dict, path: str | Path | None = None) -> None:
+        self.path = path
+        version = blob.get("version")
+        if version not in (1, FORMAT_VERSION):
+            raise SessionFormatError(
+                f"unsupported session format {version!r} "
+                f"(this build reads 1-{FORMAT_VERSION})",
+                path=path,
+                section="version",
             )
+        failed = self._validate_sections(blob, version)
         self.blob = blob
-        self.window = tuple(blob["window"])
-        self.symbols = SymbolTable()
-        for ip, (fn, site) in blob["symbols"].items():
-            self.symbols._ip_to_sym[int(ip)] = (fn, site)
-        self.sampler = _OfflineSampler(blob, blob["chunk_size"])
-        self.address_set = AddressSet()
-        for e in blob["address_set"]:
-            self.address_set.record_alloc(
-                e["type"], e["base"], e["size"], 0, e["alloc_cpu"], e["alloc"]
-            )
-            if e["free"] is not None:
-                self.address_set.record_free(e["base"], 0, e["free_cpu"], e["free"])
-        self.histories = [self._history_from(h) for h in blob["histories"]]
+        self.data_quality = DataQuality.from_blob(blob.get("data_quality", {}))
+
+        with self._recover(blob, failed, "window", required=True):
+            start, end = blob["window"]
+            self.window = (int(start), int(end))
+        with self._recover(blob, failed, "symbols"):
+            self.symbols = SymbolTable()
+            for ip, (fn, site) in blob["symbols"].items():
+                self.symbols._ip_to_sym[int(ip)] = (fn, site)
+        with self._recover(blob, failed, "stats"):
+            self.sampler = _OfflineSampler(blob, blob["chunk_size"])
+        with self._recover(blob, failed, "address_set"):
+            self.address_set = AddressSet()
+            for e in blob["address_set"]:
+                self.address_set.record_alloc(
+                    e["type"], e["base"], e["size"], 0, e["alloc_cpu"], e["alloc"]
+                )
+                if e["free"] is not None:
+                    self.address_set.record_free(e["base"], 0, e["free_cpu"], e["free"])
+        with self._recover(blob, failed, "histories"):
+            self.histories = [self._history_from(h) for h in blob["histories"]]
+
+        self.data_quality.sections_failed = tuple(sorted(set(failed)))
         self._traces_cache: dict[str, list] = {}
         self._sim_cache: WorkingSetSimResult | None = None
+
+    # ------------------------------------------------------------------
+    # Validation and recovery
+    # ------------------------------------------------------------------
+
+    def _validate_sections(self, blob: dict, version: int) -> list[str]:
+        """Checksum-validate bulk sections; returns the failed ones.
+
+        Failed or missing sections are replaced with empty data so the
+        rest of the constructor can proceed; v1 archives have no
+        checksums, so only structural parsing protects them.
+        """
+        failed: list[str] = []
+        checksums = blob.get("checksums", {}) if version >= 2 else {}
+        if version >= 2 and not isinstance(checksums, dict):
+            raise SessionFormatError(
+                "checksum table is not an object", path=self.path, section="checksums"
+            )
+        for name in CHECKSUMMED_SECTIONS:
+            section = blob.get(name)
+            if section is None:
+                failed.append(name)
+                blob[name] = _EMPTY_SECTION[name]
+                continue
+            if version >= 2 and checksums.get(name) != section_checksum(section):
+                failed.append(name)
+                blob[name] = _EMPTY_SECTION[name]
+        return failed
+
+    def _recover(self, blob, failed, section, required=False):
+        """Context manager: demote section parse errors to recovery notes."""
+        return _SectionRecovery(self, blob, failed, section, required)
 
     @staticmethod
     def _history_from(blob: dict) -> ObjectAccessHistory:
@@ -187,6 +280,7 @@ class OfflineSession:
             alloc_cpu=blob["alloc_cpu"],
             alloc_cycle=blob["alloc_cycle"],
             set_index=blob.get("set_index", 0),
+            truncated=bool(blob.get("truncated", 0)),
         )
         h.free_cycle = blob["free_cycle"]
         h.free_cpu = blob["free_cpu"]
@@ -195,6 +289,11 @@ class OfflineSession:
             for o, ip, cpu, t, w in blob["elements"]
         ]
         return h
+
+    def _attach_quality(self, view, name: str):
+        view.quality = self.data_quality
+        self.data_quality.warn_if_degraded(f"offline {name} view")
+        return view
 
     # ------------------------------------------------------------------
     # Views (mirror the live DProf facade)
@@ -250,16 +349,88 @@ class OfflineSession:
                     sample_count=blob["type_samples"].get(type_name, 0),
                 )
             )
-        return DataProfileView(rows, blob["total_l1_misses"])
+        view = DataProfileView(rows, blob["total_l1_misses"])
+        return self._attach_quality(view, "data profile")
 
     def miss_classification(self, type_name: str) -> MissClassification:
         classifier = MissClassifier(self.working_set_sim())
-        return classifier.classify(type_name, self.path_traces(type_name))
+        view = classifier.classify(type_name, self.path_traces(type_name))
+        return self._attach_quality(view, "miss classification")
 
     def data_flow(self, type_name: str) -> DataFlowView:
-        return DataFlowView(type_name, self.path_traces(type_name))
+        view = DataFlowView(type_name, self.path_traces(type_name))
+        return self._attach_quality(view, "data flow")
+
+
+class _SectionRecovery:
+    """Demotes one section's parse failure to empty data + a quality note.
+
+    Required sections (core metadata) re-raise as
+    :class:`SessionFormatError` instead -- there is nothing sensible to
+    recover to.
+    """
+
+    _PARSE_ERRORS = (KeyError, TypeError, ValueError, IndexError)
+
+    def __init__(self, session, blob, failed, section, required) -> None:
+        self.session = session
+        self.blob = blob
+        self.failed = failed
+        self.section = section
+        self.required = required
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is None:
+            return False
+        if not issubclass(exc_type, self._PARSE_ERRORS):
+            return False
+        if self.required:
+            raise SessionFormatError(
+                f"corrupt required section: {exc!r}",
+                path=self.session.path,
+                section=self.section,
+            ) from exc
+        if self.section not in self.failed:
+            self.failed.append(self.section)
+        # Leave the session attribute in its pristine-empty state.
+        defaults = {
+            "symbols": SymbolTable(),
+            "stats": _OfflineSampler(
+                {"stats": []}, self.blob.get("chunk_size", 8) or 8
+            ),
+            "address_set": AddressSet(),
+            "histories": [],
+        }
+        attr = {"stats": "sampler"}.get(self.section, self.section)
+        setattr(self.session, attr, defaults[self.section])
+        return True
 
 
 def load_session(path: str | Path) -> OfflineSession:
-    """Read a session archive and return an offline analysis handle."""
-    return OfflineSession(json.loads(Path(path).read_text()))
+    """Read a session archive and return an offline analysis handle.
+
+    Raises :class:`~repro.errors.SessionFormatError` (never a bare
+    ``json.JSONDecodeError``/``KeyError``) for torn or malformed files,
+    naming the path; recoverable section damage loads partially instead.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SessionFormatError(f"cannot read archive: {exc}", path=path) from exc
+    except UnicodeDecodeError as exc:
+        raise SessionFormatError(
+            f"archive is not valid UTF-8 (flipped byte?): {exc}", path=path
+        ) from exc
+    try:
+        blob = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SessionFormatError(
+            f"archive is not valid JSON (torn write?): {exc}", path=path
+        ) from exc
+    if not isinstance(blob, dict):
+        raise SessionFormatError("archive root is not an object", path=path)
+    return OfflineSession(blob, path=path)

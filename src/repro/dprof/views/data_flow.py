@@ -56,6 +56,8 @@ class DataFlowView:
         self.type_name = type_name
         self.nodes: dict[str, FlowNode] = {}
         self.edges: dict[tuple[str, str], FlowEdge] = {}
+        #: Stamped by the profiler/offline session; None = not annotated.
+        self.quality = None
         self._build(traces)
 
     # ------------------------------------------------------------------
@@ -177,4 +179,6 @@ class DataFlowView:
                 else ""
             )
             lines.append(f"  {edge.src} {arrow} {edge.dst}{hot}  x{edge.count}")
+        if self.quality is not None and self.quality.degraded:
+            lines.append(f"  [partial data] coverage: {self.quality.coverage_line()}")
         return "\n".join(lines)

@@ -33,6 +33,8 @@ class DataProfileView:
     def __init__(self, rows: list[DataProfileRow], total_l1_misses: int) -> None:
         self.rows = sorted(rows, key=lambda r: r.miss_share, reverse=True)
         self.total_l1_misses = total_l1_misses
+        #: Stamped by the profiler/offline session; None = not annotated.
+        self.quality = None
 
     def top(self, n: int) -> list[DataProfileRow]:
         """The *n* types with the largest miss share."""
@@ -71,4 +73,7 @@ class DataProfileView:
             format_percent(self.covered_share(n)),
             "-",
         )
-        return table.render()
+        rendered = table.render()
+        if self.quality is not None and self.quality.degraded:
+            rendered += f"\n[partial data] coverage: {self.quality.coverage_line()}"
+        return rendered

@@ -42,6 +42,8 @@ class MissClassification:
 
     type_name: str
     weights: dict[MissClass, float] = field(default_factory=dict)
+    #: Stamped by the profiler/offline session; None = not annotated.
+    quality: object | None = None
 
     @property
     def total(self) -> float:
@@ -70,7 +72,10 @@ class MissClassification:
         for klass in MissClass:
             if self.weights.get(klass, 0.0) > 0:
                 table.add_row(klass.value, format_percent(self.share(klass)))
-        return table.render()
+        rendered = table.render()
+        if self.quality is not None and self.quality.degraded:
+            rendered += f"\n[partial data] coverage: {self.quality.coverage_line()}"
+        return rendered
 
 
 class MissClassifier:

@@ -37,6 +37,8 @@ class WorkingSetView:
         self.rows = sorted(rows, key=lambda r: r.mean_live_bytes, reverse=True)
         self.sim = sim
         self.window_cycles = window_cycles
+        #: Stamped by the profiler/offline session; None = not annotated.
+        self.quality = None
 
     def row_for(self, type_name: str) -> WorkingSetRow | None:
         """Find one type's row, if present."""
@@ -95,4 +97,6 @@ class WorkingSetView:
                 f"Hottest set {worst}: "
                 f"{self.sim.distinct_lines_per_set[worst]} distinct lines ({types})"
             )
+        if self.quality is not None and self.quality.degraded:
+            lines.append(f"[partial data] coverage: {self.quality.coverage_line()}")
         return "\n".join(lines)

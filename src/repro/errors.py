@@ -29,3 +29,36 @@ class ResolveError(ReproError):
 
 class ProfilingError(ReproError):
     """A profiling session was misused (not started, already attached, ...)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is invalid (bad rate, unknown fault model, ...)."""
+
+
+class SessionFormatError(ProfilingError):
+    """A session archive is malformed (bad JSON, unknown version, torn
+    section, failed checksum).  Carries the offending ``path`` and
+    ``section`` when known so tooling can report exactly what broke."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: object | None = None,
+        section: str | None = None,
+    ) -> None:
+        detail = message
+        if section is not None:
+            detail += f" [section: {section}]"
+        if path is not None:
+            detail += f" [file: {path}]"
+        super().__init__(detail)
+        self.path = path
+        self.section = section
+
+
+class DegradedDataWarning(Warning):
+    """A view was built from partial data (dropped samples, truncated
+    histories, unrecoverable archive sections).  Emitted via
+    :func:`warnings.warn`; the view itself still renders, annotated with
+    its coverage, instead of raising."""

@@ -1,0 +1,31 @@
+"""Fault injection for the DProf pipeline.
+
+The real DProf runs on hardware that loses data: IBS drops tagged ops,
+debug registers are contended, histories race object lifetimes, and
+session files tear.  This package injects those faults into the simulated
+pipeline deterministically -- a :class:`FaultPlan` built from a seed
+produces the identical fault schedule every run -- so the degradation
+machinery (bounded retries, partial histories, checksum recovery,
+confidence-annotated views) is exercised under controlled loss instead of
+assumed away.
+
+- :mod:`repro.faults.plan` -- :class:`FaultPlan` / :class:`FaultInjector`:
+  composable Bernoulli fault models for the IBS, debug-register, and
+  history-collection layers, wired in via
+  :meth:`repro.hw.machine.Machine.install_faults`;
+- :mod:`repro.faults.corrupt` -- deterministic torn-write and bit-flip
+  corruption of session archives, for exercising
+  :mod:`repro.dprof.session_io` validation and recovery.
+"""
+
+from repro.faults.corrupt import corrupt_section, flip_byte, tear_file
+from repro.faults.plan import FaultCounters, FaultInjector, FaultPlan
+
+__all__ = [
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "corrupt_section",
+    "flip_byte",
+    "tear_file",
+]

@@ -1,0 +1,87 @@
+"""Deterministic session-archive corruption (torn and flipped files).
+
+Session archives are the one pipeline artifact that crosses a machine
+boundary ("profile on one machine, analyze anywhere"), so they see the
+classic storage faults: torn writes (the tail missing after a crash) and
+flipped bytes (bad disk, bad transfer).  These helpers produce both,
+deterministically from a :class:`~repro.util.rng.DeterministicRng`, for
+tests and fault-injection drills against :mod:`repro.dprof.session_io`'s
+checksum validation and partial recovery.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import FaultInjectionError
+from repro.util.rng import DeterministicRng
+
+
+def tear_file(path: str | Path, keep_fraction: float = 0.5) -> Path:
+    """Truncate the archive to its first *keep_fraction* bytes (torn write)."""
+    if not 0.0 <= keep_fraction < 1.0:
+        raise FaultInjectionError(
+            f"keep_fraction must be in [0, 1), got {keep_fraction!r}"
+        )
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+    return path
+
+
+def flip_byte(path: str | Path, rng: DeterministicRng) -> int:
+    """Flip one bit of one byte at an rng-chosen offset; returns the offset."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise FaultInjectionError(f"cannot corrupt empty file {path}")
+    offset = rng.randint(0, len(data) - 1)
+    data[offset] ^= 1 << rng.randint(0, 7)
+    path.write_bytes(bytes(data))
+    return offset
+
+
+def corrupt_section(path: str | Path, section: str, rng: DeterministicRng) -> Path:
+    """Damage one named section of a session archive, keeping valid JSON.
+
+    Parses the archive, perturbs one value inside *section* (so the file
+    still loads as JSON but the section's checksum no longer verifies),
+    and writes it back.  This models in-place bit rot that JSON parsing
+    alone cannot detect -- exactly what the per-section checksums exist
+    to catch.
+    """
+    path = Path(path)
+    blob = json.loads(path.read_text())
+    if section not in blob:
+        raise FaultInjectionError(f"archive has no section {section!r}")
+    blob[section] = _perturb(blob[section], rng)
+    path.write_text(json.dumps(blob))
+    return path
+
+
+def _perturb(value, rng: DeterministicRng):
+    """Change *value* somewhere, preserving its JSON shape."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ (1 << rng.randint(0, 7))
+    if isinstance(value, float):
+        return value + 1.0 + rng.random()
+    if isinstance(value, str):
+        return value + "␀"
+    if isinstance(value, list):
+        if not value:
+            return [0]
+        index = rng.randint(0, len(value) - 1)
+        value = list(value)
+        value[index] = _perturb(value[index], rng)
+        return value
+    if isinstance(value, dict):
+        if not value:
+            return {"corrupt": 1}
+        key = rng.choice(sorted(value.keys()))
+        value = dict(value)
+        value[key] = _perturb(value[key], rng)
+        return value
+    return 0  # null -> not-null is as torn as it gets

@@ -7,6 +7,12 @@ record *object access histories*: it arms the same range on every core
 pieces together whole-object histories from these narrow windows
 (Section 5.3).  The 4-register / 8-byte limits are faithfully enforced
 because they are what force DProf's pairwise-sampling design.
+
+Debug registers are also a contended, lossy resource: other kernel agents
+steal them, and traps can be swallowed.  With a fault injector installed
+(:meth:`repro.hw.machine.Machine.install_faults`), arming can fail with a
+steal and armed watches can misfire, counted in ``arm_steals`` /
+``traps_missed`` for data-quality reporting.
 """
 
 from __future__ import annotations
@@ -97,6 +103,10 @@ class WatchManager:
         self.files = [DebugRegisterFile(cpu) for cpu in range(ncores)]
         self.watched_lines: dict[int, list[Watch]] = {}
         self.traps_delivered = 0
+        self.traps_missed = 0
+        self.arm_steals = 0
+        #: Installed by the machine when a fault plan is active.
+        self.faults = None
         self._next_id = 1
 
     @property
@@ -125,6 +135,13 @@ class WatchManager:
         slot = self.free_slot()
         if slot is None:
             raise SimulationError("no debug register slot free on all cores")
+        if self.faults is not None and self.faults.steal_debug_slot():
+            # Another agent (kgdb, perf, ...) grabbed the register between
+            # the free-slot check and the arm broadcast.
+            self.arm_steals += 1
+            raise SimulationError(
+                f"debug register slot {slot} stolen by another agent"
+            )
         watch = Watch(
             watch_id=self._next_id, lo=lo, hi=lo + length, slot=slot, handler=handler
         )
@@ -165,6 +182,11 @@ class WatchManager:
                     continue
                 if watch.overlaps(instr.addr, instr.size):
                     seen.add(watch.watch_id)
+                    if self.faults is not None and self.faults.miss_watch_trap():
+                        # Watchpoint misfire: the access goes untrapped, so
+                        # the history silently loses this element.
+                        self.traps_missed += 1
+                        continue
                     self.traps_delivered += 1
                     overhead += self.trap_cycles
                     watch.handler(cpu, instr, result, cycle)

@@ -12,6 +12,14 @@ sample charges the interrupted core ~2,000 cycles (the paper's measured
 interrupt cost -- half reading IBS registers, half interrupt entry/exit
 plus address-to-type resolution), which is what makes profiling overhead
 proportional to the sampling rate (Figure 6-2).
+
+It also reproduces the lossiness: real IBS discards tagged ops that never
+retire, and racy MSR reads can return garbage latencies.  When a
+:class:`~repro.faults.plan.FaultInjector` is installed (see
+:meth:`repro.hw.machine.Machine.install_faults`), tagged ops may be
+dropped before the interrupt fires (no sample, no cost) or have their
+latency field corrupted, with ``samples_dropped`` / ``samples_corrupted``
+counting both so data-quality reports can quantify the loss.
 """
 
 from __future__ import annotations
@@ -76,6 +84,10 @@ class IbsUnit:
         self.interrupt_cycles = interrupt_cycles
         self.handler: IbsHandler | None = None
         self.samples_taken = 0
+        self.samples_dropped = 0
+        self.samples_corrupted = 0
+        #: Installed by the machine when a fault plan is active.
+        self.faults = None
         self._countdown = rng.jitter(interval) if interval > 0 else 0
 
     @property
@@ -103,7 +115,17 @@ class IbsUnit:
         if self._countdown > 0:
             return 0
         self._countdown = self.rng.jitter(self.interval)
+        if self.faults is not None and self.faults.drop_ibs_sample(self.cpu):
+            # The tagged op never retired: no interrupt, no sample, no cost.
+            self.samples_dropped += 1
+            return 0
         self.samples_taken += 1
+        latency = result.latency if result is not None else 0
+        if self.faults is not None and result is not None:
+            corrupted = self.faults.corrupt_ibs_latency(self.cpu, latency)
+            if corrupted is not None:
+                latency = corrupted
+                self.samples_corrupted += 1
         sample = IbsSample(
             cycle=cycle,
             cpu=self.cpu,
@@ -113,7 +135,7 @@ class IbsUnit:
             addr=instr.addr,
             size=instr.size,
             level=result.level if result is not None else None,
-            latency=result.latency if result is not None else 0,
+            latency=latency,
         )
         self.handler(sample)  # type: ignore[misc]  # enabled implies handler
         return self.interrupt_cycles

@@ -287,6 +287,31 @@ class Machine:
         for core in self.cores:
             core.ibs.configure(interval, handler)
 
+    def install_faults(self, injector) -> None:
+        """Attach a fault injector to every lossy hardware unit.
+
+        The injector (see :class:`repro.faults.plan.FaultInjector`) is
+        consulted by each core's IBS unit and by the watch manager; pass
+        the same object to the profiler layers that need it so one plan
+        drives the whole pipeline.
+        """
+        for core in self.cores:
+            core.ibs.faults = injector
+        self.watches.faults = injector
+
+    def clear_faults(self) -> None:
+        """Detach any installed fault injector (hardware becomes perfect)."""
+        for core in self.cores:
+            core.ibs.faults = None
+        self.watches.faults = None
+
+    def ibs_delivery_counts(self) -> tuple[int, int, int]:
+        """(delivered, dropped, corrupted) IBS samples across all cores."""
+        delivered = sum(core.ibs.samples_taken for core in self.cores)
+        dropped = sum(core.ibs.samples_dropped for core in self.cores)
+        corrupted = sum(core.ibs.samples_corrupted for core in self.cores)
+        return delivered, dropped, corrupted
+
     def disable_ibs(self) -> None:
         """Stop IBS sampling on every core."""
         for core in self.cores:

@@ -40,6 +40,44 @@ def test_cli_memcached_fixed_runs(capsys):
     assert "fixed (local TX queues)" in capsys.readouterr().out
 
 
+def test_bad_fault_spec_exits_with_usage_error():
+    with pytest.raises(SystemExit, match="unknown fault model"):
+        main(
+            [
+                "memcached",
+                "--cores",
+                "2",
+                "--duration",
+                "100000",
+                "--inject-faults",
+                "cosmic_rays=0.5",
+            ]
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.filterwarnings("ignore::repro.errors.DegradedDataWarning")
+def test_cli_faulted_run_reports_quality_and_degraded_exit(capsys):
+    rc = main(
+        [
+            "memcached",
+            "--cores",
+            "4",
+            "--duration",
+            "250000",
+            "--interval",
+            "50",
+            "--inject-faults",
+            "ibs_drop=0.1,seed=7",
+        ]
+    )
+    assert rc == 3
+    out = capsys.readouterr().out
+    assert "Data quality report" in out
+    assert "FaultPlan(seed=7" in out
+    assert "confidence:" in out
+
+
 @pytest.mark.slow
 def test_cli_apache_runs(capsys):
     rc = main(

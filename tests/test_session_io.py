@@ -6,6 +6,7 @@ import pytest
 
 from repro.dprof import DProf, DProfConfig
 from repro.dprof.session_io import (
+    FORMAT_VERSION,
     OfflineSession,
     export_session,
     load_session,
@@ -71,10 +72,12 @@ def profiled_session(tmp_path_factory):
 def test_archive_is_valid_json(profiled_session):
     _dprof, path = profiled_session
     blob = json.loads(path.read_text())
-    assert blob["version"] == 1
+    assert blob["version"] == FORMAT_VERSION
     assert blob["stats"]
     assert blob["address_set"]
     assert blob["histories"]
+    assert set(blob["checksums"]) == {"stats", "histories", "address_set", "symbols"}
+    assert "data_quality" in blob
 
 
 def test_offline_data_profile_matches_live(profiled_session):
