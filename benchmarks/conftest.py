@@ -36,6 +36,16 @@ from repro.workloads import (
 
 OUT_DIR = Path(__file__).parent / "out"
 
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark everything in this directory ``bench``.
+
+    Tier-1 CI runs ``-m "not bench"`` over tests/; the benchmark job
+    selects ``-m bench`` explicitly (see .github/workflows/ci.yml).
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 #: Apache operating points (cycles between arrivals per core), found by
 #: the calibration sweep: throughput peaks near PEAK and falls past it.
 APACHE_PEAK_PERIOD = 22_000

@@ -1,0 +1,278 @@
+"""Benchmark harness comparing the reference and fast simulation engines.
+
+``python -m repro.bench --out BENCH_dprof.json`` runs each scenario
+(memcached, apache, synthetic) once under the reference engine with a
+trace sink attached, then replays the recorded trace through both
+engines and times the hot loops:
+
+- *reference replay*: :func:`repro.hw.fastpath.replay_reference` -- the
+  OrderedDict-LRU / set-based directory path, exactly what a live run
+  executes per access;
+- *fast replay*: :func:`repro.hw.fastpath.encode_trace` once, then
+  :meth:`repro.hw.fastpath.BatchReplayEngine.run` per repeat -- the
+  array-backed batched path.
+
+Replays (not live runs) are timed so both engines consume the *same*
+access stream and the comparison isolates the memory-system simulation
+from workload/scheduler overhead.  Every repeat also cross-checks the
+engines' end states; the emitted ``accuracy`` block must show zero
+deltas, which is the differential tests' equivalence guarantee restated
+as a benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hw.fastpath import (
+    BatchReplayEngine,
+    LineInterner,
+    encode_trace,
+    replay_reference,
+)
+from repro.hw.machine import MachineConfig
+from repro.workloads import SCENARIOS, build_kernel
+
+#: Per-scenario measured windows (cycles): full runs and --smoke runs.
+DEFAULT_DURATION = 150_000
+SMOKE_DURATION = 30_000
+
+#: Scenario order in the report (memcached first: it carries the
+#: headline speedup acceptance threshold).
+SCENARIO_ORDER = ("memcached", "apache", "synthetic")
+
+
+@dataclass
+class ScenarioReport:
+    """One scenario's timings plus the engine-equivalence cross-check."""
+
+    name: str
+    events: int
+    duration_cycles: int
+    repeats: int
+    reference_s: float
+    encode_s: float
+    fast_s: float
+    accuracy: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Hot-loop speedup: reference replay time over fast replay time."""
+        return self.reference_s / self.fast_s if self.fast_s else 0.0
+
+    @property
+    def speedup_including_encode(self) -> float:
+        """Speedup charging the one-time encode pass to the fast engine."""
+        total = self.fast_s + self.encode_s
+        return self.reference_s / total if total else 0.0
+
+    def events_per_second(self, seconds: float) -> float:
+        return self.events / seconds if seconds else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "events": self.events,
+            "duration_cycles": self.duration_cycles,
+            "repeats": self.repeats,
+            "reference_s": round(self.reference_s, 6),
+            "encode_s": round(self.encode_s, 6),
+            "fast_s": round(self.fast_s, 6),
+            "reference_events_per_s": round(self.events_per_second(self.reference_s), 1),
+            "fast_events_per_s": round(self.events_per_second(self.fast_s), 1),
+            "speedup": round(self.speedup, 3),
+            "speedup_including_encode": round(self.speedup_including_encode, 3),
+            "accuracy": self.accuracy,
+        }
+
+
+def record_trace(name: str, *, ncores: int, seed: int, duration_cycles: int):
+    """Run *name* live under the reference engine with a trace sink.
+
+    Returns ``(events, config, live_state)`` where ``live_state`` is the
+    live hierarchy's (stats snapshot, cache counters) -- replaying the
+    trace must land on exactly this state, which :func:`bench_scenario`
+    asserts before timing anything.
+    """
+    kernel = build_kernel(ncores, seed=seed, engine="reference")
+    sink: list = []
+    kernel.machine.hierarchy.trace_sink = sink
+    SCENARIOS[name](kernel, duration_cycles)
+    hierarchy = kernel.machine.hierarchy
+    live_state = (hierarchy.stats.snapshot(), hierarchy.cache_counters())
+    return sink, kernel.machine.config.hierarchy_config(), live_state
+
+
+def _accuracy_deltas(
+    ref_state: tuple[dict, dict, dict, int],
+    fast_state: tuple[dict, dict, dict, int],
+) -> dict[str, Any]:
+    """Count mismatching keys between the two engines' end states.
+
+    All four counts must be zero; a non-zero count means the fast engine
+    diverged and the benchmark result is invalid.
+    """
+    ref_stats, ref_counters, ref_lru, ref_inv = ref_state
+    fast_stats, fast_counters, fast_lru, fast_inv = fast_state
+    stat_delta = sum(
+        1
+        for key in set(ref_stats["levels"]) | set(fast_stats["levels"])
+        if ref_stats["levels"].get(key) != fast_stats["levels"].get(key)
+    )
+    stat_delta += sum(
+        1
+        for key in set(ref_stats["miss_kinds"]) | set(fast_stats["miss_kinds"])
+        if ref_stats["miss_kinds"].get(key) != fast_stats["miss_kinds"].get(key)
+    )
+    stat_delta += int(ref_stats["accesses"] != fast_stats["accesses"])
+    counter_delta = sum(
+        1
+        for key in set(ref_counters) | set(fast_counters)
+        if ref_counters.get(key) != fast_counters.get(key)
+    )
+    lru_delta = sum(
+        1
+        for key in set(ref_lru) | set(fast_lru)
+        if ref_lru.get(key) != fast_lru.get(key)
+    )
+    return {
+        "stat_deltas": stat_delta,
+        "counter_deltas": counter_delta,
+        "lru_deltas": lru_delta,
+        "invalidation_delta": abs(ref_inv - fast_inv),
+        "identical": (
+            stat_delta == 0
+            and counter_delta == 0
+            and lru_delta == 0
+            and ref_inv == fast_inv
+        ),
+    }
+
+
+def bench_scenario(
+    name: str,
+    *,
+    ncores: int = 4,
+    seed: int = 11,
+    duration_cycles: int = DEFAULT_DURATION,
+    repeats: int = 3,
+) -> ScenarioReport:
+    """Record one scenario's trace, then time both replay engines.
+
+    Each engine replays the same trace *repeats* times; the minimum is
+    reported (standard practice for wall-clock microbenchmarks: the min
+    is the least noisy estimator of the true cost).
+    """
+    events, config, live_state = record_trace(
+        name, ncores=ncores, seed=seed, duration_cycles=duration_cycles
+    )
+
+    ref_best = float("inf")
+    ref_state = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        hierarchy, _ = replay_reference(events, config)
+        ref_best = min(ref_best, time.perf_counter() - t0)
+        ref_state = (
+            hierarchy.stats.snapshot(),
+            hierarchy.cache_counters(),
+            hierarchy.replacement_snapshot(),
+            hierarchy.directory.invalidation_count,
+        )
+
+    t0 = time.perf_counter()
+    interner = LineInterner()
+    encoded, _ = encode_trace(events, config, interner)
+    encode_s = time.perf_counter() - t0
+
+    fast_best = float("inf")
+    fast_state = None
+    for _ in range(repeats):
+        engine = BatchReplayEngine(config, interner)
+        t0 = time.perf_counter()
+        engine.run(encoded)
+        fast_best = min(fast_best, time.perf_counter() - t0)
+        fast_state = (
+            engine.stats_snapshot(),
+            engine.cache_counters(),
+            engine.replacement_snapshot(),
+            engine.invalidation_count,
+        )
+
+    assert ref_state is not None and fast_state is not None
+    accuracy = _accuracy_deltas(ref_state, fast_state)
+    # The replayed reference must also land exactly where the live run
+    # did, or the trace itself (not the fast engine) is unfaithful.
+    accuracy["replay_matches_live"] = live_state == (ref_state[0], ref_state[1])
+    return ScenarioReport(
+        name=name,
+        events=len(events),
+        duration_cycles=duration_cycles,
+        repeats=repeats,
+        reference_s=ref_best,
+        encode_s=encode_s,
+        fast_s=fast_best,
+        accuracy=accuracy,
+    )
+
+
+def run_benchmarks(
+    *,
+    scenarios: tuple[str, ...] = SCENARIO_ORDER,
+    ncores: int = 4,
+    seed: int = 11,
+    duration_cycles: int = DEFAULT_DURATION,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Run every scenario and assemble the BENCH_dprof.json document."""
+    reports = [
+        bench_scenario(
+            name,
+            ncores=ncores,
+            seed=seed,
+            duration_cycles=duration_cycles,
+            repeats=repeats,
+        )
+        for name in scenarios
+    ]
+    config = MachineConfig(ncores=ncores, seed=seed)
+    return {
+        "benchmark": "dprof-engine-comparison",
+        "python": sys.version.split()[0],
+        "machine": {
+            "ncores": ncores,
+            "seed": seed,
+            "line_size": config.line_size,
+            "l1_size": config.l1_size,
+            "l2_size": config.l2_size,
+            "l3_size": config.l3_size,
+        },
+        "scenarios": [r.to_dict() for r in reports],
+        "all_identical": all(r.accuracy.get("identical") for r in reports),
+    }
+
+
+def format_table(document: dict[str, Any]) -> str:
+    """Human-readable summary of a benchmark document."""
+    lines = [
+        f"{'scenario':<12} {'events':>8} {'ref (s)':>9} {'fast (s)':>9} "
+        f"{'speedup':>8} {'w/encode':>9} {'identical':>10}"
+    ]
+    for row in document["scenarios"]:
+        lines.append(
+            f"{row['name']:<12} {row['events']:>8} {row['reference_s']:>9.4f} "
+            f"{row['fast_s']:>9.4f} {row['speedup']:>7.2f}x "
+            f"{row['speedup_including_encode']:>8.2f}x "
+            f"{str(row['accuracy']['identical']):>10}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(document: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,0 +1,75 @@
+"""CLI for the engine benchmark: ``python -m repro.bench [--out FILE]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    DEFAULT_DURATION,
+    SCENARIO_ORDER,
+    SMOKE_DURATION,
+    format_table,
+    run_benchmarks,
+    write_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the fast engine against the reference engine.",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write the JSON report to FILE"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short windows and one repeat (CI smoke: checks equivalence, "
+        "not timing quality)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per engine"
+    )
+    parser.add_argument("--ncores", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--duration", type=int, default=None, metavar="CYCLES",
+        help=f"measured window per scenario (default {DEFAULT_DURATION})",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=SCENARIO_ORDER,
+        help="run only this scenario (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    duration = args.duration
+    repeats = args.repeats
+    if args.smoke:
+        duration = duration or SMOKE_DURATION
+        repeats = 1
+    duration = duration or DEFAULT_DURATION
+    scenarios = tuple(args.scenario) if args.scenario else SCENARIO_ORDER
+
+    document = run_benchmarks(
+        scenarios=scenarios,
+        ncores=args.ncores,
+        seed=args.seed,
+        duration_cycles=duration,
+        repeats=repeats,
+    )
+    print(format_table(document))
+    if args.out:
+        write_report(document, args.out)
+        print(f"wrote {args.out}")
+    if not document["all_identical"]:
+        print("ERROR: engines diverged; benchmark invalid", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,8 +59,9 @@ def _profiled_memcached(
     duration: int,
     interval: int,
     faults: FaultPlan | None = None,
+    engine: str = "reference",
 ):
-    kernel = Kernel(MachineConfig(ncores=cores, seed=11))
+    kernel = Kernel(MachineConfig(ncores=cores, seed=11, engine=engine))
     workload = MemcachedWorkload(kernel)
     workload.setup()
     if fixed:
@@ -75,7 +76,12 @@ def _profiled_memcached(
 def cmd_memcached(args: argparse.Namespace) -> int:
     plan = _fault_plan(args)
     kernel, _workload, dprof, result = _profiled_memcached(
-        args.cores, args.fixed, args.duration, args.interval, faults=plan
+        args.cores,
+        args.fixed,
+        args.duration,
+        args.interval,
+        faults=plan,
+        engine=args.engine,
     )
     label = "fixed (local TX queues)" if args.fixed else "stock (skb_tx_hash)"
     print(f"memcached on {args.cores} cores, {label}")
@@ -89,7 +95,7 @@ def cmd_memcached(args: argparse.Namespace) -> int:
 
 def cmd_apache(args: argparse.Namespace) -> int:
     plan = _fault_plan(args)
-    kernel = Kernel(MachineConfig(ncores=args.cores, seed=11))
+    kernel = Kernel(MachineConfig(ncores=args.cores, seed=11, engine=args.engine))
     workload = ApacheWorkload(
         kernel, config=ApacheConfig(arrival_period=args.period)
     )
@@ -114,7 +120,7 @@ def cmd_apache(args: argparse.Namespace) -> int:
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
     plan = _fault_plan(args)
-    kernel = Kernel(MachineConfig(ncores=args.cores, seed=52))
+    kernel = Kernel(MachineConfig(ncores=args.cores, seed=52, engine=args.engine))
     workload = MemcachedWorkload(kernel)
     workload.setup()
     workload.start()
@@ -141,6 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flag(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--engine",
+            choices=("reference", "fast"),
+            default="reference",
+            help=(
+                "access-simulation engine; 'fast' uses repro.hw.fastpath, "
+                "which is bit-identical to 'reference' but quicker "
+                "(equivalence is enforced by tests/test_fastpath_equivalence.py)"
+            ),
+        )
+
     def add_fault_flag(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--inject-faults",
@@ -160,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--duration", type=int, default=600_000)
     mc.add_argument("--interval", type=int, default=400)
     mc.add_argument("--top", type=int, default=8)
+    add_engine_flag(mc)
     add_fault_flag(mc)
     mc.set_defaults(func=cmd_memcached)
 
@@ -170,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--duration", type=int, default=1_000_000)
     ap.add_argument("--interval", type=int, default=400)
     ap.add_argument("--top", type=int, default=8)
+    add_engine_flag(ap)
     add_fault_flag(ap)
     ap.set_defaults(func=cmd_apache)
 
@@ -177,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     dg.add_argument("--cores", type=int, default=8)
     dg.add_argument("--interval", type=int, default=300)
     dg.add_argument("--top", type=int, default=6)
+    add_engine_flag(dg)
     add_fault_flag(dg)
     dg.set_defaults(func=cmd_diagnose)
     return parser

@@ -113,6 +113,16 @@ class CacheArray:
         for bucket in self._sets:
             yield from bucket.keys()
 
+    def lru_snapshot(self) -> tuple[tuple[int, ...], ...]:
+        """Per-set lines in replacement order (next victim first).
+
+        The fast engine's :class:`~repro.hw.fastpath.FastCacheArray`
+        produces the same shape from its recency counters, so the
+        differential tests can compare full replacement state across
+        engines.
+        """
+        return tuple(tuple(bucket.keys()) for bucket in self._sets)
+
     def clear(self) -> None:
         """Empty the cache (used between profiling runs)."""
         for bucket in self._sets:

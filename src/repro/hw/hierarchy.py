@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError
 from repro.hw.cache import CacheArray, CacheGeometry
 from repro.hw.coherence import Directory
-from repro.hw.events import AccessResult, CacheLevel, MissKind
+from repro.hw.events import AccessResult, CacheLevel, MissKind, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -114,6 +114,21 @@ class HierarchyStats:
             return 0.0
         return 1.0 - self.level_counts[CacheLevel.L1] / self.accesses
 
+    def snapshot(self) -> dict:
+        """Plain-dict view of every counter, for comparison and JSON.
+
+        The differential harness (tests/test_fastpath_equivalence.py and
+        ``repro.bench``) diffs two engines' snapshots; any key-for-key
+        mismatch is an equivalence failure.
+        """
+        return {
+            "accesses": self.accesses,
+            "levels": {level.name: n for level, n in self.level_counts.items()},
+            "miss_kinds": {
+                kind.value: n for kind, n in self.miss_kind_counts.items()
+            },
+        }
+
 
 class MemoryHierarchy:
     """Per-core L1/L2 (exclusive), shared victim L3, MESI directory."""
@@ -131,6 +146,10 @@ class MemoryHierarchy:
         self.directory = Directory(config.ncores)
         self.latencies = config.latencies
         self.stats = HierarchyStats()
+        #: When set to a list, every ``access()`` call appends a
+        #: :class:`~repro.hw.events.TraceEvent` before simulating it, so
+        #: the run can later be replayed through another engine.
+        self.trace_sink: list[TraceEvent] | None = None
 
     # ------------------------------------------------------------------
     # Main access path
@@ -152,6 +171,19 @@ class MemoryHierarchy:
         one encountered and latencies add up, mirroring how a split access
         stalls on its slowest half.
         """
+        sink = self.trace_sink
+        if sink is not None:
+            sink.append(
+                TraceEvent(
+                    seq=len(sink),
+                    cycle=cycle,
+                    cpu=cpu,
+                    addr=addr,
+                    size=size,
+                    is_write=is_write,
+                    ip=ip,
+                )
+            )
         first = addr // self.line_size
         last = (addr + max(size, 1) - 1) // self.line_size
         result = self._access_line(cpu, first, is_write, ip, addr, size, cycle)
@@ -268,6 +300,25 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     # Introspection helpers (tests, working-set validation)
     # ------------------------------------------------------------------
+
+    def cache_counters(self) -> dict[str, tuple[int, int, int]]:
+        """Per-cache (hits, misses, evictions), keyed by cache name."""
+        counters: dict[str, tuple[int, int, int]] = {}
+        for cache in [*self.l1, *self.l2, self.l3]:
+            counters[cache.name] = (cache.hits, cache.misses, cache.evictions)
+        return counters
+
+    def replacement_snapshot(self) -> dict[str, tuple]:
+        """Full LRU state of every cache array, keyed by cache name.
+
+        Two engines that agree on this after a run agree on every future
+        eviction decision -- the strongest equivalence short of diffing
+        each access.
+        """
+        return {
+            cache.name: cache.lru_snapshot()
+            for cache in [*self.l1, *self.l2, self.l3]
+        }
 
     def core_holds(self, cpu: int, addr: int) -> bool:
         """True when the line containing *addr* sits in cpu's L1 or L2."""

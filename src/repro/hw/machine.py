@@ -42,6 +42,10 @@ class MachineConfig:
     ncores: int = 16
     seed: int = 42
     quantum: int = 16
+    #: Access-simulation engine: ``"reference"`` (readable OrderedDict/set
+    #: implementation) or ``"fast"`` (:mod:`repro.hw.fastpath`, bit-identical
+    #: results from array-backed recency counters and bitmask directory).
+    engine: str = "reference"
     line_size: int = 64
     l1_size: int = 16 * 1024
     l1_ways: int = 8
@@ -60,6 +64,10 @@ class MachineConfig:
             raise ConfigError("ncores must be positive")
         if self.quantum <= 0:
             raise ConfigError("quantum must be positive")
+        if self.engine not in ("reference", "fast"):
+            raise ConfigError(
+                f"unknown engine {self.engine!r} (choose 'reference' or 'fast')"
+            )
 
     def hierarchy_config(self) -> HierarchyConfig:
         """Derive the memory-hierarchy configuration."""
@@ -108,7 +116,15 @@ class Machine:
         self.cores = [
             Core(cpu, self.rng.child(f"core{cpu}")) for cpu in range(self.config.ncores)
         ]
-        self.hierarchy = MemoryHierarchy(self.config.hierarchy_config())
+        if self.config.engine == "fast":
+            # Imported here: fastpath depends on this module's siblings.
+            from repro.hw.fastpath import FastHierarchy
+
+            self.hierarchy: MemoryHierarchy = FastHierarchy(
+                self.config.hierarchy_config()
+            )
+        else:
+            self.hierarchy = MemoryHierarchy(self.config.hierarchy_config())
         self.address_space = AddressSpace()
         self.watches = WatchManager(
             self.config.ncores,

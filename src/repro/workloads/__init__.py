@@ -10,12 +10,26 @@
   simulator's ground truth.
 """
 
-from repro.workloads.base import WorkloadResult
+from repro.workloads.base import WorkloadResult, build_kernel
 from repro.workloads.memcached import MemcachedConfig, MemcachedWorkload
 from repro.workloads.apache import ApacheConfig, ApacheWorkload
+from repro.workloads import apache as _apache
+from repro.workloads import memcached as _memcached
+from repro.workloads import synthetic as _synthetic
+
+#: Uniform scenario entry points: name -> drive(kernel, duration_cycles).
+#: Used by ``repro.bench`` and the engine-equivalence tests to run each
+#: workload identically under the reference and fast engines.
+SCENARIOS = {
+    "memcached": _memcached.drive,
+    "apache": _apache.drive,
+    "synthetic": _synthetic.drive,
+}
 
 __all__ = [
     "WorkloadResult",
+    "build_kernel",
+    "SCENARIOS",
     "MemcachedConfig",
     "MemcachedWorkload",
     "ApacheConfig",

@@ -82,6 +82,19 @@ class ApacheConfig:
             raise ConfigError("backlog must be positive")
 
 
+def drive(kernel: Kernel, duration_cycles: int) -> WorkloadResult:
+    """Set up and run the Apache workload for a fixed window.
+
+    The uniform scenario entry point (see
+    :data:`repro.workloads.SCENARIOS`).  A shorter arrival period than
+    the default keeps small benchmark windows busy: at the stock 30k
+    period a sub-second window would carry almost no connections.
+    """
+    workload = ApacheWorkload(kernel, config=ApacheConfig(arrival_period=6_000))
+    workload.setup()
+    return workload.run(duration_cycles, warmup_cycles=duration_cycles // 5)
+
+
 class ApacheWorkload:
     """Drives N pinned Apache instances over the simulated stack."""
 

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.hw.machine import MachineConfig
 from repro.kernel.kernel import Kernel
+
+
+def build_kernel(ncores: int, seed: int, engine: str = "reference") -> Kernel:
+    """A kernel on a fresh machine, parameterised the way the benchmark
+    harness and the differential tests need: core count, root seed, and
+    access-simulation engine."""
+    return Kernel(MachineConfig(ncores=ncores, seed=seed, engine=engine))
 
 
 @dataclass

@@ -66,6 +66,19 @@ class MemcachedConfig:
             raise ConfigError("window must be positive")
 
 
+def drive(kernel: Kernel, duration_cycles: int) -> WorkloadResult:
+    """Set up and run the memcached workload for a fixed window.
+
+    The uniform scenario entry point (see
+    :data:`repro.workloads.SCENARIOS`) used by ``repro.bench`` and the
+    engine-equivalence tests: same kernel in, same measured window out,
+    regardless of which workload is being driven.
+    """
+    workload = MemcachedWorkload(kernel)
+    workload.setup()
+    return workload.run(duration_cycles, warmup_cycles=duration_cycles // 5)
+
+
 class MemcachedWorkload:
     """Drives N pinned memcached instances over the simulated stack."""
 

@@ -18,6 +18,30 @@ from __future__ import annotations
 
 from repro.kernel.kernel import Kernel
 from repro.kernel.layout import KObject, StructType
+from repro.workloads.base import WorkloadResult
+
+def drive(kernel: Kernel, duration_cycles: int) -> WorkloadResult:
+    """Run every miss-class microworkload at once for a bounded window.
+
+    The uniform scenario entry point (see
+    :data:`repro.workloads.SCENARIOS`): true sharing, false sharing,
+    conflict, and capacity all active together gives traces that touch
+    every coherence path, which is what the engine-equivalence tests and
+    the benchmark's "synthetic" row want.
+    """
+    true_sharing_workload(kernel, iterations=duration_cycles // 400)
+    false_sharing_workload(kernel, iterations=duration_cycles // 400)
+    conflict_workload(kernel, iterations=duration_cycles // 2_000)
+    capacity_workload(kernel, iterations=max(1, duration_cycles // 100_000))
+    start = kernel.elapsed_cycles()
+    kernel.run(until_cycle=start + duration_cycles)
+    return WorkloadResult(
+        requests_completed=sum(
+            1 for thread in kernel.machine.threads if thread.done
+        ),
+        elapsed_cycles=kernel.elapsed_cycles() - start,
+    )
+
 
 #: One shared counter: all cores hammer `count` (true sharing).
 SHARED_COUNTER_TYPE = StructType(

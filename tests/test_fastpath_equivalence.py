@@ -1,0 +1,152 @@
+"""Differential tests: the fast engine must be bit-identical to the reference.
+
+Three layers of comparison, each across 5 seeds and all three scenarios
+(memcached, apache, synthetic):
+
+1. *Live machines*: a full workload run with ``engine="fast"`` must land
+   on exactly the same hierarchy stats, cache counters, invalidation
+   count, and DProf top-10 data-profile ranking as ``engine="reference"``.
+2. *Replays*: the trace recorded from the reference run, replayed through
+   :func:`replay_reference` and :func:`replay_fast`, must agree on every
+   per-access outcome (level, miss classification, latency, loss
+   records), all counters, the complete LRU state of every cache, and the
+   residual loss-record maps.
+3. *Trace generation*: sharded (multiprocessing) and serial synthetic
+   stream generation must produce byte-identical, cycle-ordered traces.
+
+Any nonzero delta anywhere fails; there is no tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple
+
+import pytest
+
+from repro.dprof import DProf, DProfConfig
+from repro.hw.fastpath import (
+    build_synthetic_trace,
+    merge_streams,
+    replay_fast,
+    replay_reference,
+    synthetic_stream,
+)
+from repro.workloads import SCENARIOS, build_kernel
+
+SEEDS = (3, 7, 11, 23, 42)
+DURATION = 60_000
+NCORES = 4
+IBS_INTERVAL = 29  # runs are instruction-sparse; sample densely
+
+
+def profiled_run(engine: str, scenario: str, seed: int, *, record: bool = False):
+    """One live workload run under DProf; optionally record the trace.
+
+    Returns (comparable_state, trace, hierarchy_config): everything in
+    ``comparable_state`` must match exactly between engines.
+    """
+    kernel = build_kernel(NCORES, seed=seed, engine=engine)
+    trace: list | None = [] if record else None
+    if record:
+        kernel.machine.hierarchy.trace_sink = trace
+    dprof = DProf(kernel, DProfConfig(ibs_interval=IBS_INTERVAL))
+    dprof.attach()
+    result = SCENARIOS[scenario](kernel, DURATION)
+    dprof.detach()
+    hierarchy = kernel.machine.hierarchy
+    ranking = [
+        (r.type_name, r.miss_share, r.bounce, r.sample_count, r.working_set_bytes)
+        for r in dprof.data_profile().top(10)
+    ]
+    state = {
+        "stats": hierarchy.stats.snapshot(),
+        "counters": hierarchy.cache_counters(),
+        "lru": hierarchy.replacement_snapshot(),
+        "invalidations": hierarchy.directory.invalidation_count,
+        "top10": ranking,
+        "requests": result.requests_completed,
+        "elapsed": result.elapsed_cycles,
+    }
+    return state, trace, kernel.machine.config.hierarchy_config()
+
+
+def reference_loss_records(hierarchy):
+    """The reference directory's residual loss maps as plain tuples."""
+    inv = [
+        {line: astuple(rec) for line, rec in per_cpu.items()}
+        for per_cpu in hierarchy.directory.invalidated
+    ]
+    ev = [
+        {line: astuple(rec) for line, rec in per_cpu.items()}
+        for per_cpu in hierarchy.directory.evicted
+    ]
+    return inv, ev
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_engines_equivalent(scenario: str, seed: int) -> None:
+    """Live runs, replays, and DProf rankings agree bit for bit."""
+    ref_state, events, config = profiled_run(
+        "reference", scenario, seed, record=True
+    )
+    fast_state, _, _ = profiled_run("fast", scenario, seed)
+    assert fast_state == ref_state
+
+    assert events, "reference run recorded no trace"
+    ref_hier, ref_outcomes = replay_reference(events, config, collect=True)
+    engine, fast_outcomes = replay_fast(events, config, collect=True)
+
+    # Per-access agreement: level served, miss classification, latency,
+    # and the loss record attached to each miss.
+    assert fast_outcomes == ref_outcomes
+    # End-state agreement, including full LRU order of every cache set.
+    assert engine.stats_snapshot() == ref_hier.stats.snapshot()
+    assert engine.cache_counters() == ref_hier.cache_counters()
+    assert engine.replacement_snapshot() == ref_hier.replacement_snapshot()
+    assert engine.invalidation_count == ref_hier.directory.invalidation_count
+    assert engine.loss_records() == reference_loss_records(ref_hier)
+    # The trace replay must also reproduce the live run it came from.
+    assert ref_hier.stats.snapshot() == ref_state["stats"]
+    assert ref_hier.cache_counters() == ref_state["counters"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_trace_equivalence(seed: int) -> None:
+    """Replay equivalence holds on generated multi-core traces too."""
+    # private_lines must exceed the private-cache capacity (L1+L2 =
+    # 1280 lines) or the trace never produces an eviction-classed miss.
+    events = build_synthetic_trace(seed, NCORES, 2_000, private_lines=1_536)
+    config = build_kernel(NCORES, seed=seed).machine.config.hierarchy_config()
+    ref_hier, ref_outcomes = replay_reference(events, config, collect=True)
+    engine, fast_outcomes = replay_fast(events, config, collect=True)
+    assert fast_outcomes == ref_outcomes
+    assert engine.stats_snapshot() == ref_hier.stats.snapshot()
+    assert engine.replacement_snapshot() == ref_hier.replacement_snapshot()
+    # The trace must exercise every miss class to be a meaningful check.
+    kinds = ref_hier.stats.snapshot()["miss_kinds"]
+    assert all(kinds.get(k, 0) > 0 for k in ("cold", "invalidation", "eviction"))
+
+
+def test_sharded_generation_matches_serial() -> None:
+    """Multiprocessing sharding is invisible: identical traces out."""
+    serial = build_synthetic_trace(17, NCORES, 800, workers=0)
+    sharded = build_synthetic_trace(17, NCORES, 800, workers=NCORES)
+    assert sharded == serial
+    # Canonical order: (cycle, seq) nondecreasing, seqs unique.
+    keys = [(ev.cycle, ev.seq) for ev in serial]
+    assert keys == sorted(keys)
+    assert len({ev.seq for ev in serial}) == len(serial)
+
+
+def test_merge_is_deterministic_cycle_order() -> None:
+    """merge_streams is a pure function of the per-CPU streams."""
+    streams = [
+        synthetic_stream(17, cpu, 300, seq_base=cpu, seq_step=NCORES)
+        for cpu in range(NCORES)
+    ]
+    merged = merge_streams(streams)
+    assert merged == merge_streams(list(reversed(streams)))
+    assert [(ev.cycle, ev.seq) for ev in merged] == sorted(
+        (ev.cycle, ev.seq) for stream in streams for ev in stream
+    )
