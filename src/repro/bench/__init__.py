@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import json
 import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.errors import BenchFormatError
 from repro.hw.fastpath import (
     BatchReplayEngine,
     LineInterner,
@@ -99,10 +101,9 @@ def record_trace(name: str, *, ncores: int, seed: int, duration_cycles: int):
     asserts before timing anything.
     """
     kernel = build_kernel(ncores, seed=seed, engine="reference")
-    sink: list = []
-    kernel.machine.hierarchy.trace_sink = sink
-    SCENARIOS[name](kernel, duration_cycles)
     hierarchy = kernel.machine.hierarchy
+    with hierarchy.record_trace() as sink:
+        SCENARIOS[name](kernel, duration_cycles)
     live_state = (hierarchy.stats.snapshot(), hierarchy.cache_counters())
     return sink, kernel.machine.config.hierarchy_config(), live_state
 
@@ -220,6 +221,69 @@ def bench_scenario(
     )
 
 
+def bench_service_throughput(
+    *,
+    scenario: str = "memcached",
+    jobs: int = 8,
+    workers: int = 4,
+    ncores: int = 4,
+    seed: int = 11,
+    duration_cycles: int = DEFAULT_DURATION,
+) -> dict[str, Any]:
+    """Service-throughput scenario: N concurrent jobs through a worker pool.
+
+    Boots a :class:`repro.serve.workers.WorkerPool` (the same execution
+    path ``python -m repro.cli serve`` uses), submits *jobs* profiling
+    jobs -- distinct seeds, so the pool does *jobs* different sessions
+    concurrently -- and measures jobs/minute end to end, archives landed
+    in a throwaway content-addressed store included.  This is the
+    baseline for "how much profiling traffic can one server sustain".
+    """
+    from repro.serve.jobs import JobSpec
+    from repro.serve.workers import WorkerPool
+
+    specs = [
+        JobSpec.create(
+            scenario=scenario,
+            cores=ncores,
+            seed=seed + i,
+            duration=duration_cycles,
+            engine="fast",
+        )
+        for i in range(jobs)
+    ]
+    statuses: dict[str, int] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as store_root:
+        pool = WorkerPool(workers, store_root)
+        pool.start()
+        try:
+            t0 = time.perf_counter()
+            for i, spec in enumerate(specs):
+                pool.submit(f"bench-{i:03d}", spec)
+            finished = 0
+            while finished < jobs:
+                kind, _worker, payload = pool.result_q.get(timeout=300)
+                if kind == "done":
+                    finished += 1
+                    status = payload[1]["status"]
+                    statuses[status] = statuses.get(status, 0) + 1
+                elif kind == "failed":
+                    finished += 1
+                    statuses["failed"] = statuses.get("failed", 0) + 1
+            wall_s = time.perf_counter() - t0
+        finally:
+            pool.stop(grace_s=2.0)
+    return {
+        "scenario": scenario,
+        "jobs": jobs,
+        "workers": workers,
+        "duration_cycles": duration_cycles,
+        "wall_s": round(wall_s, 4),
+        "jobs_per_minute": round(jobs * 60.0 / wall_s, 2) if wall_s else 0.0,
+        "statuses": statuses,
+    }
+
+
 def run_benchmarks(
     *,
     scenarios: tuple[str, ...] = SCENARIO_ORDER,
@@ -227,8 +291,14 @@ def run_benchmarks(
     seed: int = 11,
     duration_cycles: int = DEFAULT_DURATION,
     repeats: int = 3,
+    service_jobs: int = 0,
+    service_workers: int = 4,
 ) -> dict[str, Any]:
-    """Run every scenario and assemble the BENCH_dprof.json document."""
+    """Run every scenario and assemble the BENCH_dprof.json document.
+
+    ``service_jobs`` > 0 adds the service-throughput block (N concurrent
+    memcached jobs through a worker pool, jobs/minute).
+    """
     reports = [
         bench_scenario(
             name,
@@ -240,7 +310,7 @@ def run_benchmarks(
         for name in scenarios
     ]
     config = MachineConfig(ncores=ncores, seed=seed)
-    return {
+    document = {
         "benchmark": "dprof-engine-comparison",
         "python": sys.version.split()[0],
         "machine": {
@@ -254,6 +324,15 @@ def run_benchmarks(
         "scenarios": [r.to_dict() for r in reports],
         "all_identical": all(r.accuracy.get("identical") for r in reports),
     }
+    if service_jobs > 0:
+        document["service_throughput"] = bench_service_throughput(
+            jobs=service_jobs,
+            workers=service_workers,
+            ncores=ncores,
+            seed=seed,
+            duration_cycles=duration_cycles,
+        )
+    return document
 
 
 def format_table(document: dict[str, Any]) -> str:
@@ -272,7 +351,91 @@ def format_table(document: dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+# Schema for BENCH_dprof.json: field name -> required type(s).  A
+# benchmark run that crashed midway (missing scenarios, half-built rows)
+# must not overwrite the committed baseline; validate_report refuses it.
+_NUMBER = (int, float)
+_TOP_LEVEL_SCHEMA = {
+    "benchmark": str,
+    "python": str,
+    "machine": dict,
+    "scenarios": list,
+    "all_identical": bool,
+}
+_MACHINE_SCHEMA = {
+    "ncores": int,
+    "seed": int,
+    "line_size": int,
+    "l1_size": int,
+    "l2_size": int,
+    "l3_size": int,
+}
+_SCENARIO_SCHEMA = {
+    "name": str,
+    "events": int,
+    "duration_cycles": int,
+    "repeats": int,
+    "reference_s": _NUMBER,
+    "encode_s": _NUMBER,
+    "fast_s": _NUMBER,
+    "reference_events_per_s": _NUMBER,
+    "fast_events_per_s": _NUMBER,
+    "speedup": _NUMBER,
+    "speedup_including_encode": _NUMBER,
+    "accuracy": dict,
+}
+_SERVICE_SCHEMA = {
+    "scenario": str,
+    "jobs": int,
+    "workers": int,
+    "duration_cycles": int,
+    "wall_s": _NUMBER,
+    "jobs_per_minute": _NUMBER,
+    "statuses": dict,
+}
+
+
+def _check_fields(blob: dict, schema: dict, where: str) -> None:
+    for name, types in schema.items():
+        if name not in blob:
+            raise BenchFormatError(f"{where}: missing field {name!r}")
+        if not isinstance(blob[name], types):
+            raise BenchFormatError(
+                f"{where}: field {name!r} has type "
+                f"{type(blob[name]).__name__}, expected {types}"
+            )
+
+
+def validate_report(document: Any) -> None:
+    """Schema-check a benchmark document; raises :class:`BenchFormatError`.
+
+    Called by :func:`write_report` before any bytes hit disk, so a
+    crashed or truncated benchmark run can never commit a partial
+    baseline file.
+    """
+    if not isinstance(document, dict):
+        raise BenchFormatError("report root is not an object")
+    _check_fields(document, _TOP_LEVEL_SCHEMA, "report")
+    _check_fields(document["machine"], _MACHINE_SCHEMA, "machine")
+    if not document["scenarios"]:
+        raise BenchFormatError("report has no scenario rows")
+    for index, row in enumerate(document["scenarios"]):
+        where = f"scenarios[{index}]"
+        if not isinstance(row, dict):
+            raise BenchFormatError(f"{where}: row is not an object")
+        _check_fields(row, _SCENARIO_SCHEMA, where)
+        if "identical" not in row["accuracy"]:
+            raise BenchFormatError(f"{where}: accuracy lacks 'identical'")
+    service = document.get("service_throughput")
+    if service is not None:
+        if not isinstance(service, dict):
+            raise BenchFormatError("service_throughput is not an object")
+        _check_fields(service, _SERVICE_SCHEMA, "service_throughput")
+
+
 def write_report(document: dict[str, Any], path: str) -> None:
+    """Validate and write a benchmark document (refuses partial runs)."""
+    validate_report(document)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(document, fh, indent=2, sort_keys=False)
         fh.write("\n")

@@ -44,13 +44,32 @@ def main(argv: list[str] | None = None) -> int:
         choices=SCENARIO_ORDER,
         help="run only this scenario (repeatable)",
     )
+    parser.add_argument(
+        "--service-jobs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent jobs for the service-throughput scenario "
+        "(0 disables it; default 8)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker processes for the service-throughput scenario",
+    )
     args = parser.parse_args(argv)
 
     duration = args.duration
     repeats = args.repeats
+    service_jobs = args.service_jobs
+    service_workers = args.service_workers
     if args.smoke:
         duration = duration or SMOKE_DURATION
         repeats = 1
+        service_jobs = min(service_jobs, 4)
+        service_workers = min(service_workers, 2)
     duration = duration or DEFAULT_DURATION
     scenarios = tuple(args.scenario) if args.scenario else SCENARIO_ORDER
 
@@ -60,8 +79,17 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         duration_cycles=duration,
         repeats=repeats,
+        service_jobs=service_jobs,
+        service_workers=service_workers,
     )
     print(format_table(document))
+    service = document.get("service_throughput")
+    if service:
+        print(
+            f"service     {service['jobs']} x {service['scenario']} jobs on "
+            f"{service['workers']} workers: {service['jobs_per_minute']} "
+            f"jobs/min ({service['wall_s']:.2f}s, statuses {service['statuses']})"
+        )
     if args.out:
         write_report(document, args.out)
         print(f"wrote {args.out}")

@@ -5,32 +5,54 @@ Usage::
     python -m repro.cli memcached [--cores N] [--fixed] [--duration CYCLES]
     python -m repro.cli apache    [--cores N] [--period CYCLES] [--admission N]
     python -m repro.cli diagnose  [--cores N]
+    python -m repro.cli list-scenarios
+
+    python -m repro.cli serve     [--workers N] [--port P] [--store DIR]
+    python -m repro.cli submit    --scenario NAME [--wait] [...]
+    python -m repro.cli status    [JOB_ID]
+    python -m repro.cli fetch     JOB_ID [--view NAME] [--type TYPE]
+    python -m repro.cli run-once  --scenario NAME [--store DIR]
 
 ``memcached`` and ``apache`` run the case-study workloads under DProf and
 print the data profile plus throughput (with or without the paper's
 fixes); ``diagnose`` runs the automated diagnosis pipeline against the
 misconfigured memcached workload.
 
-Every command accepts ``--inject-faults SPEC`` (e.g.
+``serve`` turns the process into a long-running profiling service
+(:mod:`repro.serve`); ``submit``/``status``/``fetch`` are its client
+trio, and ``run-once`` executes one job spec inline through the exact
+code path the service workers use -- its stored archive is bit-identical
+to what a server produces for the same spec.
+
+Every profiling command accepts ``--inject-faults SPEC`` (e.g.
 ``--inject-faults ibs_drop=0.1,history_truncation=0.2,seed=7``) to run
-the pipeline over deterministically lossy hardware; the run then prints a
-data-quality report and the exit code reflects the damage (0 = full data,
-3 = degraded, 4 = less than half the intended data survived).
+the pipeline over deterministically lossy hardware; one-shot runs then
+print a data-quality report and exit 0/3/4 (full/degraded/poor), while
+service jobs report status ok/degraded/failed instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
+import time
 
+from repro import __version__
 from repro.baselines import LockStatReport
 from repro.dprof import DataQuality, Diagnosis, DProf, DProfConfig
-from repro.errors import FaultInjectionError
+from repro.errors import FaultInjectionError, ProtocolError, ServeError
 from repro.faults import FaultPlan
 from repro.fixes import apply_admission_control, install_local_queue_selection
 from repro.hw.machine import MachineConfig
 from repro.kernel import Kernel
-from repro.workloads import ApacheConfig, ApacheWorkload, MemcachedWorkload
+from repro.workloads import (
+    SCENARIO_DEFAULTS,
+    ApacheConfig,
+    ApacheWorkload,
+    MemcachedWorkload,
+)
 
 
 def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
@@ -140,10 +162,191 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     return _report_quality(dprof, plan)
 
 
+def cmd_list_scenarios(_args: argparse.Namespace) -> int:
+    """Print the SCENARIOS registry with per-scenario defaults."""
+    print(f"{'scenario':<12} {'cores':>5} {'duration':>9} {'interval':>8}  description")
+    for name in sorted(SCENARIO_DEFAULTS):
+        defaults = SCENARIO_DEFAULTS[name]
+        print(
+            f"{name:<12} {defaults.cores:>5} {defaults.duration:>9} "
+            f"{defaults.interval:>8}  {defaults.description}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Profiling-as-a-service commands (repro.serve)
+# ----------------------------------------------------------------------
+
+
+def _spec_from_args(args: argparse.Namespace):
+    """A validated JobSpec from submit/run-once flags (SystemExit on junk)."""
+    from repro.serve import JobSpec
+
+    try:
+        return JobSpec.create(
+            scenario=args.scenario,
+            cores=args.cores,
+            engine=args.engine,
+            seed=args.seed,
+            duration=args.duration,
+            interval=args.interval,
+            fault_spec=args.inject_faults,
+            priority=getattr(args, "priority", 0),
+        )
+    except ServeError as exc:
+        raise SystemExit(f"bad job spec: {exc}")
+
+
+def _rpc(args: argparse.Namespace, message: dict) -> dict:
+    """One request to the server named by --host/--port; SystemExit on
+    connection or protocol trouble so scripts get a clean error."""
+    from repro.serve import request_once
+
+    try:
+        return request_once(args.host, args.port, message, timeout=args.timeout)
+    except (ConnectionError, OSError, ProtocolError) as exc:
+        raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {exc}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ProfilingServer
+
+    server = ProfilingServer(
+        args.store,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        host=args.host,
+        port=args.port,
+        drain_grace_s=args.drain_grace,
+    )
+
+    async def main() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        print(
+            f"repro.serve v{__version__}: listening on "
+            f"{server.host}:{server.port}, {args.workers} workers, "
+            f"store {args.store}",
+            flush=True,
+        )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{server.port}\n")
+        if args.stdio:
+            asyncio.ensure_future(server.serve_stdio())
+        await server.finished.wait()
+        print("repro.serve: drained and stopped", flush=True)
+
+    asyncio.run(main())
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    response = _rpc(args, {"op": "submit", **spec.to_wire()})
+    if not response.get("ok"):
+        retry = response.get("retry_after_s")
+        suffix = f" (retry after {retry}s)" if retry is not None else ""
+        print(f"rejected: {response.get('error')}{suffix}", file=sys.stderr)
+        return 1
+    job_id = response["job_id"]
+    print(f"submitted {job_id} ({spec.scenario}, seed={spec.seed})")
+    if not args.wait:
+        return 0
+    while True:
+        status = _rpc(args, {"op": "status", "job_id": job_id})
+        job = status.get("job", {})
+        if job.get("state") in ("done", "failed", "requeued"):
+            print(
+                f"{job_id}: {job['state']}"
+                + (f" ({job['status']})" if job.get("status") else "")
+                + (f" error: {job['error']}" if job.get("error") else "")
+            )
+            return 0 if job["state"] == "done" else 1
+        time.sleep(args.poll_interval)
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    if args.job_id:
+        response = _rpc(args, {"op": "status", "job_id": args.job_id})
+        if not response.get("ok"):
+            print(response.get("error"), file=sys.stderr)
+            return 1
+        print(json.dumps(response["job"], indent=2))
+        return 0
+    response = _rpc(args, {"op": "status"})
+    jobs = response.get("jobs", [])
+    print(
+        f"{len(jobs)} jobs, queue depth {response.get('queue_depth')}, "
+        f"running {response.get('running')}"
+    )
+    for job in jobs:
+        line = (
+            f"{job['job_id']}  {job['spec']['scenario']:<10} "
+            f"{job['state']:<9}"
+        )
+        if job.get("status"):
+            line += f" {job['status']}"
+        if job.get("wall_s") is not None:
+            line += f" ({job['wall_s']:.2f}s)"
+        print(line)
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    message = {
+        "op": "fetch",
+        "job_id": args.job_id,
+        "view": args.view,
+        "top": args.top,
+    }
+    if args.type:
+        message["type"] = args.type
+    response = _rpc(args, message)
+    if not response.get("ok"):
+        print(response.get("error"), file=sys.stderr)
+        return 1
+    body = response.get("archive") or response.get("rendered") or ""
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(body)
+            if not body.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {args.view} ({response['digest'][:12]}...) to {args.out}")
+    else:
+        print(body)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    response = _rpc(args, {"op": "metrics"})
+    print(response["rendered"])
+    return 0
+
+
+def cmd_run_once(args: argparse.Namespace) -> int:
+    """Execute one job spec inline, through the service's worker path."""
+    from repro.serve import execute_job_to_store
+
+    spec = _spec_from_args(args)
+    outcome = execute_job_to_store(spec, args.store)
+    print(
+        f"{spec.scenario} seed={spec.seed} engine={spec.engine}: "
+        f"{outcome['status']} in {outcome['wall_s']:.2f}s, "
+        f"throughput {outcome['throughput']}, archive {outcome['digest']}"
+    )
+    print(f"quality: {outcome['quality']}")
+    return 0 if outcome["status"] != "failed" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="DProf reproduction workloads"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -200,6 +403,114 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_flag(dg)
     add_fault_flag(dg)
     dg.set_defaults(func=cmd_diagnose)
+
+    ls = sub.add_parser(
+        "list-scenarios", help="list service scenarios and their defaults"
+    )
+    ls.set_defaults(func=cmd_list_scenarios)
+
+    def add_client_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--host", default="127.0.0.1")
+        sub_parser.add_argument("--port", type=int, required=True)
+        sub_parser.add_argument(
+            "--timeout", type=float, default=10.0, help="socket timeout (s)"
+        )
+
+    def add_spec_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "scenario", choices=sorted(SCENARIO_DEFAULTS)
+        )
+        sub_parser.add_argument(
+            "--cores", type=int, default=None,
+            help="cores (default: scenario default)",
+        )
+        sub_parser.add_argument(
+            "--duration", type=int, default=None, metavar="CYCLES",
+            help="measured window (default: scenario default)",
+        )
+        sub_parser.add_argument("--interval", type=int, default=None)
+        sub_parser.add_argument("--seed", type=int, default=11)
+        sub_parser.add_argument(
+            "--engine", choices=("reference", "fast"), default="fast"
+        )
+        add_fault_flag(sub_parser)
+
+    sv = sub.add_parser(
+        "serve", help="run the profiling-as-a-service server"
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = pick a free one)"
+    )
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--queue-size", type=int, default=32)
+    sv.add_argument(
+        "--store", default="serve-store", help="session archive directory"
+    )
+    sv.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight jobs before requeueing",
+    )
+    sv.add_argument(
+        "--port-file", default=None, metavar="FILE",
+        help="write the bound port here once listening",
+    )
+    sv.add_argument(
+        "--stdio", action="store_true",
+        help="also accept JSON-lines requests on stdin/stdout",
+    )
+    sv.set_defaults(func=cmd_serve)
+
+    sm = sub.add_parser("submit", help="submit a job to a running server")
+    add_client_flags(sm)
+    add_spec_flags(sm)
+    sm.add_argument("--priority", type=int, default=0)
+    sm.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    sm.add_argument("--poll-interval", type=float, default=0.2)
+    sm.set_defaults(func=cmd_submit)
+
+    st = sub.add_parser("status", help="job status from a running server")
+    add_client_flags(st)
+    st.add_argument("job_id", nargs="?", default=None)
+    st.set_defaults(func=cmd_status)
+
+    ft = sub.add_parser(
+        "fetch", help="fetch a finished job's profile from the server"
+    )
+    add_client_flags(ft)
+    ft.add_argument("job_id", help="job id or archive digest")
+    ft.add_argument(
+        "--view",
+        choices=(
+            "data-profile", "working-set", "miss-class", "data-flow",
+            "quality", "archive",
+        ),
+        default="data-profile",
+    )
+    ft.add_argument(
+        "--type", default=None, help="type name for miss-class / data-flow"
+    )
+    ft.add_argument("--top", type=int, default=8)
+    ft.add_argument(
+        "--out", default=None, metavar="FILE", help="write to FILE not stdout"
+    )
+    ft.set_defaults(func=cmd_fetch)
+
+    mt = sub.add_parser("metrics", help="service counters from the server")
+    add_client_flags(mt)
+    mt.set_defaults(func=cmd_metrics)
+
+    ro = sub.add_parser(
+        "run-once",
+        help="execute one job spec inline via the service worker path",
+    )
+    add_spec_flags(ro)
+    ro.add_argument(
+        "--store", default="serve-store", help="session archive directory"
+    )
+    ro.set_defaults(func=cmd_run_once)
     return parser
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 
 from repro.dprof.cachesim import DProfCacheSim, WorkingSetSimResult
@@ -39,6 +40,8 @@ from repro.dprof.views import (
     DataProfileView,
     MissClassification,
     MissClassifier,
+    WorkingSetRow,
+    WorkingSetView,
 )
 from repro.errors import SessionFormatError
 from repro.hw.cache import CacheGeometry
@@ -158,11 +161,27 @@ def export_session(dprof) -> dict:
     return blob
 
 
-def save_session(dprof, path: str | Path) -> Path:
-    """Export and write a session archive to *path*."""
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write *text* via a same-directory temp file + ``os.replace``.
+
+    Archives are written by concurrent worker processes into shared
+    store directories (:mod:`repro.serve.store`), so a plain
+    ``write_text`` would let two writers -- or one writer and a crash --
+    interleave and produce exactly the torn files the checksums exist to
+    catch.  The same-directory temp file keeps source and destination on
+    one filesystem, which is what makes ``os.replace`` atomic: readers
+    see the old bytes, the new bytes, or no file, never a hybrid.
+    """
     path = Path(path)
-    path.write_text(json.dumps(export_session(dprof)))
+    tmp = path.parent / f".tmp-{path.name}.{os.getpid()}"
+    tmp.write_text(text)
+    os.replace(tmp, path)
     return path
+
+
+def save_session(dprof, path: str | Path) -> Path:
+    """Export and atomically write a session archive to *path*."""
+    return atomic_write_text(path, json.dumps(export_session(dprof)))
 
 
 # ----------------------------------------------------------------------
@@ -351,6 +370,31 @@ class OfflineSession:
             )
         view = DataProfileView(rows, blob["total_l1_misses"])
         return self._attach_quality(view, "data profile")
+
+    def working_set(self) -> WorkingSetView:
+        """The working set view, rebuilt offline like the live one.
+
+        Completes the view quartet: every view a live
+        :class:`~repro.dprof.profiler.DProf` offers can be re-rendered
+        from the archive alone (the service's ``fetch`` relies on this).
+        """
+        start, end = self.window
+        sim = self.working_set_sim()
+        rows = [
+            WorkingSetRow(
+                type_name=type_name,
+                mean_live_bytes=self.address_set.mean_live_bytes(
+                    type_name, start, end
+                ),
+                mean_live_objects=self.address_set.mean_live_objects(
+                    type_name, start, end
+                ),
+                mean_resident_lines=sim.mean_resident_lines.get(type_name, 0.0),
+            )
+            for type_name in self.address_set.type_names()
+        ]
+        view = WorkingSetView(rows, sim, window_cycles=end - start)
+        return self._attach_quality(view, "working set")
 
     def miss_classification(self, type_name: str) -> MissClassification:
         classifier = MissClassifier(self.working_set_sim())

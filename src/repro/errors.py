@@ -35,6 +35,30 @@ class FaultInjectionError(ReproError):
     """A fault plan is invalid (bad rate, unknown fault model, ...)."""
 
 
+class ServeError(ReproError):
+    """The profiling service was misused (bad job spec, unknown job,
+    fetch before completion, store miss, ...)."""
+
+
+class ProtocolError(ServeError):
+    """A service message is malformed (bad JSON, missing op, oversized
+    line).  Reported to the client instead of closing the connection."""
+
+
+class QueueFullError(ServeError):
+    """The job queue is at capacity.  Carries ``retry_after_s``, the
+    server's estimate of when a resubmission is likely to be accepted."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class BenchFormatError(ReproError):
+    """A benchmark report document failed schema validation; the baseline
+    file is left untouched rather than committing a partial run."""
+
+
 class SessionFormatError(ProfilingError):
     """A session archive is malformed (bad JSON, unknown version, torn
     section, failed checksum).  Carries the offending ``path`` and

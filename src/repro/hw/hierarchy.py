@@ -18,9 +18,10 @@ cannot report.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.hw.cache import CacheArray, CacheGeometry
 from repro.hw.coherence import Directory
 from repro.hw.events import AccessResult, CacheLevel, MissKind, TraceEvent
@@ -148,8 +149,28 @@ class MemoryHierarchy:
         self.stats = HierarchyStats()
         #: When set to a list, every ``access()`` call appends a
         #: :class:`~repro.hw.events.TraceEvent` before simulating it, so
-        #: the run can later be replayed through another engine.
+        #: the run can later be replayed through another engine.  Prefer
+        #: :meth:`record_trace`, which guarantees detachment.
         self.trace_sink: list[TraceEvent] | None = None
+
+    @contextlib.contextmanager
+    def record_trace(self, sink: list[TraceEvent] | None = None):
+        """Attach a trace sink for the duration of a ``with`` block.
+
+        Detaches in a ``finally``, so a run that raises mid-session (a
+        crashed workload, an injected fault escalating) cannot leave the
+        sink attached and silently pollute the next recording in the
+        same process.  Nesting is refused: a sink swap mid-recording
+        would split one run's trace across two lists.
+        """
+        if self.trace_sink is not None:
+            raise SimulationError("trace recording already active")
+        sink = [] if sink is None else sink
+        self.trace_sink = sink
+        try:
+            yield sink
+        finally:
+            self.trace_sink = None
 
     # ------------------------------------------------------------------
     # Main access path

@@ -1,0 +1,44 @@
+"""``repro.serve`` -- concurrent profiling-as-a-service.
+
+The paper's workflow is "profile, fix, re-profile" against live
+workloads; DCPI-lineage profilers become genuinely useful once
+collection is decoupled from analysis behind an always-on service.  This
+package is that front door for the reproduction: a long-running server
+that accepts profiling-job submissions, executes them concurrently on a
+multiprocessing worker pool (using the fast engine by default), lands
+the resulting session archives in a content-addressed store, and serves
+any of the four DProf views back without recomputation.
+
+Modules:
+
+- :mod:`repro.serve.protocol` -- JSON-lines wire protocol + blocking client;
+- :mod:`repro.serve.jobs` -- job specs, states, the bounded priority queue;
+- :mod:`repro.serve.workers` -- session execution + the worker pool;
+- :mod:`repro.serve.store` -- content-addressed archive store;
+- :mod:`repro.serve.metrics` -- counters, percentiles, reconciliation;
+- :mod:`repro.serve.server` -- the asyncio server (TCP and stdio), drain.
+
+Entry points: ``python -m repro.cli serve`` to run one, and the
+``submit`` / ``status`` / ``fetch`` CLI trio to talk to it.
+"""
+
+from repro.serve.jobs import Job, JobQueue, JobSpec
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import ServeClient, request_once
+from repro.serve.server import ProfilingServer
+from repro.serve.store import SessionStore
+from repro.serve.workers import WorkerPool, execute_job, execute_job_to_store
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "ProfilingServer",
+    "ServeClient",
+    "ServeMetrics",
+    "SessionStore",
+    "WorkerPool",
+    "execute_job",
+    "execute_job_to_store",
+    "request_once",
+]

@@ -1,0 +1,124 @@
+"""Live service counters and the ``metrics`` endpoint's rendering.
+
+Counter semantics are chosen so the books always balance: every accepted
+submission ends in exactly one of ``done``, ``failed``, or ``requeued``
+(handed back at drain), so at shutdown::
+
+    submitted == done + failed + requeued
+
+and while running the same identity holds with the queue depth and
+running count added.  :meth:`ServeMetrics.reconciled` checks exactly
+that; the drain path and the smoke tests assert it.  Crash-recovery
+retries are counted separately (``job_retries``) because a retried job
+still terminates in one of the three buckets -- folding retries into
+``requeued`` would double-count.
+
+Wall times are kept per scenario (bounded reservoir) and exposed as
+p50/p95, matching how one would alert on a real profiling service.
+"""
+
+from __future__ import annotations
+
+from repro.util.stats import percentile
+
+#: Per-scenario wall-time samples kept for percentile estimates.
+WALL_RESERVOIR = 1024
+
+
+class ServeMetrics:
+    """Mutable counter registry for one server process."""
+
+    def __init__(self) -> None:
+        self.jobs_submitted = 0
+        self.jobs_rejected = 0
+        self.jobs_done = 0
+        self.jobs_degraded = 0  # subset of jobs_done
+        self.jobs_failed = 0
+        self.jobs_requeued = 0
+        self.job_retries = 0
+        self.worker_restarts = 0
+        self._wall: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def observe_wall(self, scenario: str, seconds: float) -> None:
+        """Record one completed job's wall time."""
+        samples = self._wall.setdefault(scenario, [])
+        samples.append(seconds)
+        if len(samples) > WALL_RESERVOIR:
+            del samples[0]
+
+    def wall_percentile(self, scenario: str, q: float) -> float | None:
+        samples = self._wall.get(scenario)
+        if not samples:
+            return None
+        return percentile(sorted(samples), q)
+
+    def mean_wall_s(self) -> float | None:
+        """Mean wall time across all scenarios (retry-after estimates)."""
+        total = count = 0.0
+        for samples in self._wall.values():
+            total += sum(samples)
+            count += len(samples)
+        return total / count if count else None
+
+    def retry_after_s(self, queue_depth: int, workers: int) -> float:
+        """How long a rejected submitter should wait before retrying."""
+        mean = self.mean_wall_s() or 1.0
+        return round(max(0.25, queue_depth * mean / max(workers, 1)), 3)
+
+    # ------------------------------------------------------------------
+    # Reconciliation and export
+    # ------------------------------------------------------------------
+
+    def reconciled(self, queue_depth: int = 0, running: int = 0) -> bool:
+        """True when every accepted job is accounted for exactly once."""
+        return self.jobs_submitted == (
+            self.jobs_done
+            + self.jobs_failed
+            + self.jobs_requeued
+            + queue_depth
+            + running
+        )
+
+    def counters(self, queue_depth: int, running: int) -> dict:
+        """JSON-compatible snapshot for the ``metrics`` op."""
+        blob = {
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_rejected": self.jobs_rejected,
+            "jobs_done": self.jobs_done,
+            "jobs_degraded": self.jobs_degraded,
+            "jobs_failed": self.jobs_failed,
+            "jobs_requeued": self.jobs_requeued,
+            "job_retries": self.job_retries,
+            "worker_restarts": self.worker_restarts,
+            "queue_depth": queue_depth,
+            "jobs_running": running,
+            "reconciled": self.reconciled(queue_depth, running),
+            "wall_seconds": {},
+        }
+        for scenario in sorted(self._wall):
+            blob["wall_seconds"][scenario] = {
+                "count": len(self._wall[scenario]),
+                "p50": round(self.wall_percentile(scenario, 50.0), 4),
+                "p95": round(self.wall_percentile(scenario, 95.0), 4),
+            }
+        return blob
+
+    def render(self, queue_depth: int, running: int) -> str:
+        """Prometheus-style text exposition of every counter."""
+        blob = self.counters(queue_depth, running)
+        wall = blob.pop("wall_seconds")
+        blob.pop("reconciled")
+        lines = [
+            f"repro_serve_{name} {value}" for name, value in blob.items()
+        ]
+        for scenario, stats in wall.items():
+            for quantile in ("p50", "p95"):
+                lines.append(
+                    f'repro_serve_wall_seconds{{scenario="{scenario}",'
+                    f'quantile="{quantile[1:]}"}} {stats[quantile]}'
+                )
+        return "\n".join(lines)

@@ -1,0 +1,396 @@
+r"""The asyncio profiling server: transports, scheduling, drain.
+
+Architecture (one process, one event loop)::
+
+    TCP clients --\                        /-- worker 0 (process)
+    stdio client ---> ProfilingServer ----+--- worker 1
+                      | JobQueue (prio)    \-- worker N-1
+                      | SessionStore            |
+                      | ServeMetrics       result queue
+                      \--- result pump thread <-/
+
+The server owns all scheduling state on the event loop thread: jobs wait
+in a bounded priority queue and are dispatched to the multiprocessing
+pool only when a worker slot is free, so the mp task queue never buffers
+more than one job per worker and priorities hold.  A small pump thread
+blocks on the pool's result queue and trampolines events onto the loop
+with ``call_soon_threadsafe``; a monitor task polls worker liveness and
+requeues orphaned jobs from crashed workers (restart counted in
+metrics).
+
+Shutdown (SIGTERM, SIGINT, or the ``shutdown`` op) drains: new submits
+are rejected, queued jobs are handed back (state ``requeued``, persisted
+to ``requeue.json`` in the store), running jobs get ``drain_grace_s`` to
+finish, stragglers are terminated and requeued too.  After a drain the
+metrics reconcile exactly: submitted == done + failed + requeued.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue as queue_mod
+import signal
+import sys
+import threading
+
+from repro import __version__
+from repro.errors import ProtocolError, QueueFullError, ServeError
+from repro.serve.jobs import Job, JobQueue, JobSpec
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (
+    DEFAULT_HOST,
+    MAX_LINE_BYTES,
+    decode_line,
+    encode,
+    error_response,
+)
+from repro.serve.store import SessionStore
+from repro.serve.workers import WorkerPool
+from repro.workloads import SCENARIOS
+
+#: How often the monitor task checks worker liveness (seconds).
+MONITOR_INTERVAL_S = 0.2
+
+
+class ProfilingServer:
+    """Long-running profiling-as-a-service frontend."""
+
+    def __init__(
+        self,
+        store_root,
+        workers: int = 2,
+        queue_size: int = 32,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        drain_grace_s: float = 30.0,
+    ) -> None:
+        self.store = SessionStore(store_root)
+        self.metrics = ServeMetrics()
+        self.queue = JobQueue(queue_size)
+        self.pool = WorkerPool(workers, store_root)
+        self.jobs: dict[str, Job] = {}
+        #: job_id -> worker_id (None until the worker's 'started' event).
+        self.running: dict[str, int | None] = {}
+        self.host = host
+        self.port = port
+        self.drain_grace_s = drain_grace_s
+        self.draining = False
+        self.finished = asyncio.Event()
+        self._seq = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self._monitor_task: asyncio.Task | None = None
+        self._pump_thread: threading.Thread | None = None
+        self._pump_stop = threading.Event()
+        self._drain_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Boot workers, the result pump, and the TCP listener."""
+        self._loop = asyncio.get_running_loop()
+        self.store.sweep_tmp()
+        self.pool.start()
+        self._pump_thread = threading.Thread(
+            target=self._pump_results, name="repro-serve-pump", daemon=True
+        )
+        self._pump_thread.start()
+        self._tcp_server = await asyncio.start_server(
+            self._on_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._tcp_server.sockets[0].getsockname()[1]
+        self._monitor_task = asyncio.ensure_future(self._monitor_workers())
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT -> graceful drain (call after :meth:`start`)."""
+        assert self._loop is not None
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            self._loop.add_signal_handler(sig, self.request_drain)
+
+    def request_drain(self) -> None:
+        """Schedule a drain from a signal handler or an op handler."""
+        if self._drain_task is None and self._loop is not None:
+            self._drain_task = self._loop.create_task(self.drain())
+
+    async def run(self) -> None:
+        """start() + signal handlers + block until drained."""
+        await self.start()
+        self.install_signal_handlers()
+        await self.finished.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish or requeue every in-flight job."""
+        if self.draining:
+            return
+        self.draining = True
+        requeued = self.queue.drain()
+        deadline = (
+            asyncio.get_running_loop().time() + self.drain_grace_s
+        )
+        while self.running and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.05)
+        # Stragglers past the grace period: terminate and hand back.
+        for job_id, worker_id in list(self.running.items()):
+            if worker_id is not None:
+                self.pool.terminate_worker(worker_id)
+            requeued.append(self.jobs[job_id])
+            del self.running[job_id]
+        for job in requeued:
+            job.state = "requeued"
+            self.metrics.jobs_requeued += 1
+        self.store.write_requeue([job.spec.to_wire() for job in requeued])
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        self.pool.stop(grace_s=2.0)
+        self._pump_stop.set()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        self.finished.set()
+
+    # ------------------------------------------------------------------
+    # Worker-pool plumbing
+    # ------------------------------------------------------------------
+
+    def _free_slots(self) -> int:
+        return self.pool.nworkers - len(self.running)
+
+    def _dispatch(self) -> None:
+        """Hand queued jobs to the pool while slots are free."""
+        while not self.draining and self._free_slots() > 0:
+            job = self.queue.pop()
+            if job is None:
+                return
+            job.state = "running"
+            job.attempts += 1
+            self.running[job.job_id] = None
+            self.pool.submit(job.job_id, job.spec)
+
+    def _pump_results(self) -> None:
+        """(thread) Forward pool events onto the event loop."""
+        while not self._pump_stop.is_set():
+            try:
+                event = self.pool.result_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                continue
+            if self._loop is not None and not self._loop.is_closed():
+                self._loop.call_soon_threadsafe(self._on_worker_event, event)
+
+    def _on_worker_event(self, event: tuple) -> None:
+        kind, worker_id, payload = event
+        if kind == "exit":
+            return
+        if kind == "started":
+            job = self.jobs.get(payload)
+            if job is not None and payload in self.running:
+                self.running[payload] = worker_id
+                job.worker = worker_id
+            return
+        job_id, detail = payload
+        job = self.jobs.get(job_id)
+        if job is None or job_id not in self.running:
+            return  # stale event from a terminated/requeued job
+        del self.running[job_id]
+        if kind == "done":
+            job.state = "failed" if detail["status"] == "failed" else "done"
+            job.status = detail["status"]
+            job.digest = detail["digest"]
+            job.wall_s = detail["wall_s"]
+            job.throughput = detail["throughput"]
+            job.quality = detail["quality"]
+            if job.state == "done":
+                self.metrics.jobs_done += 1
+                if job.status == "degraded":
+                    self.metrics.jobs_degraded += 1
+            else:
+                self.metrics.jobs_failed += 1
+                job.error = f"data quality poor: {detail['quality']}"
+            self.metrics.observe_wall(job.spec.scenario, detail["wall_s"])
+        else:  # failed: the session raised
+            job.state = "failed"
+            job.status = "failed"
+            job.error = detail
+            self.metrics.jobs_failed += 1
+        self._dispatch()
+
+    async def _monitor_workers(self) -> None:
+        """Requeue jobs orphaned by worker deaths; respawn workers."""
+        while True:
+            await asyncio.sleep(MONITOR_INTERVAL_S)
+            for worker_id in self.pool.dead_workers():
+                self.metrics.worker_restarts += 1
+                self.pool.restart(worker_id)
+                for job_id, assigned in list(self.running.items()):
+                    if assigned == worker_id:
+                        del self.running[job_id]
+                        job = self.jobs[job_id]
+                        job.state = "queued"
+                        job.worker = None
+                        self.metrics.job_retries += 1
+                        self.queue.force_push(job)
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Transports
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode(error_response("request line too long")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = self._handle_line(line)
+                writer.write(encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def serve_stdio(self) -> None:
+        """JSON-lines on stdin/stdout (for pipelines and supervisors).
+
+        EOF on stdin triggers the same graceful drain as SIGTERM.
+        """
+        loop = asyncio.get_running_loop()
+        while not self.draining:
+            line = await loop.run_in_executor(None, sys.stdin.readline)
+            if not line:
+                break
+            response = self._handle_line(line)
+            sys.stdout.write(json.dumps(response) + "\n")
+            sys.stdout.flush()
+        self.request_drain()
+
+    def _handle_line(self, line: bytes | str) -> dict:
+        try:
+            message = decode_line(line)
+        except ProtocolError as exc:
+            return error_response(str(exc))
+        try:
+            return self._handle(message)
+        except ServeError as exc:
+            return error_response(str(exc))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _handle(self, message: dict) -> dict:
+        op = message["op"]
+        handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+        if handler is None:
+            raise ServeError(f"unknown op {op!r}")
+        return handler(message)
+
+    def _op_ping(self, _message: dict) -> dict:
+        return {
+            "ok": True,
+            "version": __version__,
+            "scenarios": sorted(SCENARIOS),
+            "workers": self.pool.nworkers,
+            "draining": self.draining,
+        }
+
+    def _op_submit(self, message: dict) -> dict:
+        if self.draining:
+            return error_response("server is draining", code="draining")
+        spec = JobSpec.from_wire(message)
+        job_id = f"job-{self._seq:05d}-{spec.digest()[:8]}"
+        self._seq += 1
+        job = Job(job_id=job_id, spec=spec)
+        try:
+            self.queue.push(job)
+        except QueueFullError:
+            self.metrics.jobs_rejected += 1
+            retry_after = self.metrics.retry_after_s(
+                len(self.queue), self.pool.nworkers
+            )
+            return error_response(
+                f"queue is full ({self.queue.maxsize} jobs); retry later",
+                code="queue_full",
+                retry_after_s=retry_after,
+            )
+        self.jobs[job_id] = job
+        self.metrics.jobs_submitted += 1
+        self._dispatch()
+        return {
+            "ok": True,
+            "job_id": job_id,
+            "state": job.state,
+            "position": len(self.queue),
+        }
+
+    def _op_status(self, message: dict) -> dict:
+        job_id = message.get("job_id")
+        if job_id is not None:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise ServeError(f"unknown job {job_id!r}")
+            return {"ok": True, "job": job.to_wire()}
+        return {
+            "ok": True,
+            "jobs": [job.to_wire() for job in self.jobs.values()],
+            "queue_depth": len(self.queue),
+            "running": len(self.running),
+        }
+
+    def _op_fetch(self, message: dict) -> dict:
+        digest = message.get("digest")
+        if digest is None:
+            job_id = message.get("job_id")
+            job = self.jobs.get(job_id)
+            if job is None:
+                # Allow fetching by archive digest through the same field
+                # (the CLI's positional argument is "job id or digest").
+                if job_id and self.store.has(job_id):
+                    digest = job_id
+                else:
+                    raise ServeError(f"unknown job {job_id!r}")
+            elif job.digest is None:
+                raise ServeError(
+                    f"job {job_id} has no stored result (state: {job.state})"
+                )
+            else:
+                digest = job.digest
+        view = message.get("view", "data-profile")
+        rendered = self.store.render_view(
+            digest,
+            view,
+            type_name=message.get("type"),
+            top=int(message.get("top", 8)),
+        )
+        response = {"ok": True, "digest": digest, "view": view}
+        if view == "archive":
+            response["archive"] = rendered
+        else:
+            response["rendered"] = rendered
+        return response
+
+    def _op_list(self, _message: dict) -> dict:
+        return {"ok": True, "archives": self.store.listing()}
+
+    def _op_metrics(self, _message: dict) -> dict:
+        depth, running = len(self.queue), len(self.running)
+        return {
+            "ok": True,
+            "counters": self.metrics.counters(depth, running),
+            "rendered": self.metrics.render(depth, running),
+        }
+
+    def _op_shutdown(self, _message: dict) -> dict:
+        self.request_drain()
+        return {"ok": True, "draining": True}

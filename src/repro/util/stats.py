@@ -117,6 +117,25 @@ def mean(values: Iterable[float]) -> float:
     return sum(values) / len(values)
 
 
+def percentile(sorted_values: list[float], q: float) -> float:
+    """The *q*-th percentile (0-100) of an already-sorted list.
+
+    Linear interpolation between closest ranks; raises ``ValueError``
+    for an empty list or a q outside [0, 100].
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
 def weighted_mean(pairs: Iterable[tuple[float, float]]) -> float:
     """Mean of (value, weight) pairs; 0.0 when total weight is zero."""
     total_weight = 0.0

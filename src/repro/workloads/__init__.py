@@ -10,6 +10,8 @@
   simulator's ground truth.
 """
 
+from dataclasses import dataclass
+
 from repro.workloads.base import WorkloadResult, build_kernel
 from repro.workloads.memcached import MemcachedConfig, MemcachedWorkload
 from repro.workloads.apache import ApacheConfig, ApacheWorkload
@@ -18,18 +20,55 @@ from repro.workloads import memcached as _memcached
 from repro.workloads import synthetic as _synthetic
 
 #: Uniform scenario entry points: name -> drive(kernel, duration_cycles).
-#: Used by ``repro.bench`` and the engine-equivalence tests to run each
-#: workload identically under the reference and fast engines.
+#: Used by ``repro.bench``, ``repro.serve``, and the engine-equivalence
+#: tests to run each workload identically under both engines.
 SCENARIOS = {
     "memcached": _memcached.drive,
     "apache": _apache.drive,
     "synthetic": _synthetic.drive,
 }
 
+
+@dataclass(frozen=True)
+class ScenarioDefaults:
+    """Per-scenario defaults used when a job or CLI omits a knob."""
+
+    cores: int
+    duration: int
+    interval: int
+    description: str
+
+
+#: Defaults per registered scenario, consumed by ``repro.serve`` job
+#: validation and the CLI's ``list-scenarios`` subcommand.  Keys must
+#: match :data:`SCENARIOS` exactly (enforced by tests/test_workloads.py).
+SCENARIO_DEFAULTS = {
+    "memcached": ScenarioDefaults(
+        cores=4,
+        duration=150_000,
+        interval=400,
+        description="pinned UDP memcached instances, closed-loop clients (Section 6.1)",
+    ),
+    "apache": ScenarioDefaults(
+        cores=4,
+        duration=150_000,
+        interval=400,
+        description="pinned Apache instances over TCP, open-loop arrivals (Section 6.2)",
+    ),
+    "synthetic": ScenarioDefaults(
+        cores=4,
+        duration=200_000,
+        interval=400,
+        description="all four miss-class microworkloads running together",
+    ),
+}
+
 __all__ = [
     "WorkloadResult",
     "build_kernel",
     "SCENARIOS",
+    "SCENARIO_DEFAULTS",
+    "ScenarioDefaults",
     "MemcachedConfig",
     "MemcachedWorkload",
     "ApacheConfig",

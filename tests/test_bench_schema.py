@@ -1,0 +1,120 @@
+"""Schema validation for BENCH_dprof.json documents."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import validate_report, write_report
+from repro.errors import BenchFormatError
+
+
+def _valid_document():
+    return {
+        "benchmark": "repro.bench",
+        "python": "3.11.7",
+        "machine": {
+            "ncores": 4,
+            "seed": 11,
+            "line_size": 64,
+            "l1_size": 32768,
+            "l2_size": 262144,
+            "l3_size": 8388608,
+        },
+        "scenarios": [
+            {
+                "name": "memcached",
+                "events": 1000,
+                "duration_cycles": 150000,
+                "repeats": 1,
+                "reference_s": 0.5,
+                "encode_s": 0.01,
+                "fast_s": 0.1,
+                "reference_events_per_s": 2000.0,
+                "fast_events_per_s": 10000.0,
+                "speedup": 5.0,
+                "speedup_including_encode": 4.5,
+                "accuracy": {"identical": True},
+            }
+        ],
+        "all_identical": True,
+        "service_throughput": {
+            "scenario": "memcached",
+            "jobs": 8,
+            "workers": 4,
+            "duration_cycles": 150000,
+            "wall_s": 1.5,
+            "jobs_per_minute": 320.0,
+            "statuses": {"ok": 8},
+        },
+    }
+
+
+def test_valid_document_passes():
+    validate_report(_valid_document())
+
+
+def test_service_block_is_optional():
+    document = _valid_document()
+    del document["service_throughput"]
+    validate_report(document)
+
+
+def test_rejects_non_dict_root():
+    with pytest.raises(BenchFormatError, match="not an object"):
+        validate_report(["not", "a", "report"])
+
+
+def test_rejects_missing_top_level_field():
+    document = _valid_document()
+    del document["all_identical"]
+    with pytest.raises(BenchFormatError, match="all_identical"):
+        validate_report(document)
+
+
+def test_rejects_wrong_type():
+    document = _valid_document()
+    document["machine"]["ncores"] = "four"
+    with pytest.raises(BenchFormatError, match="ncores"):
+        validate_report(document)
+
+
+def test_rejects_empty_scenarios():
+    document = _valid_document()
+    document["scenarios"] = []
+    with pytest.raises(BenchFormatError, match="no scenario rows"):
+        validate_report(document)
+
+
+def test_rejects_scenario_missing_accuracy_flag():
+    document = _valid_document()
+    document["scenarios"][0]["accuracy"] = {}
+    with pytest.raises(BenchFormatError, match="identical"):
+        validate_report(document)
+
+
+def test_rejects_malformed_service_block():
+    document = _valid_document()
+    del document["service_throughput"]["jobs_per_minute"]
+    with pytest.raises(BenchFormatError, match="jobs_per_minute"):
+        validate_report(document)
+
+
+def test_write_report_refuses_partial_and_writes_valid(tmp_path):
+    document = _valid_document()
+    partial = copy.deepcopy(document)
+    del partial["scenarios"][0]["speedup"]
+    out = tmp_path / "bench.json"
+    with pytest.raises(BenchFormatError):
+        write_report(partial, str(out))
+    assert not out.exists()  # refused before any bytes hit disk
+    write_report(document, str(out))
+    assert json.loads(out.read_text())["all_identical"] is True
+
+
+def test_checked_in_baseline_validates():
+    """The repo's committed BENCH_dprof.json satisfies the schema."""
+    from pathlib import Path
+
+    baseline = Path(__file__).resolve().parent.parent / "BENCH_dprof.json"
+    validate_report(json.loads(baseline.read_text()))

@@ -87,3 +87,64 @@ def test_cli_apache_runs(capsys):
     out = capsys.readouterr().out
     assert "apache on 4 cores" in out
     assert "mean accept wait" in out
+
+
+def test_cli_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_cli_list_scenarios(capsys):
+    rc = main(["list-scenarios"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("memcached", "apache", "synthetic"):
+        assert name in out
+    assert "duration" in out  # header with per-scenario defaults
+
+
+def test_parser_has_service_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--workers", "3", "--queue-size", "9"])
+    assert args.workers == 3
+    assert args.queue_size == 9
+    args = parser.parse_args(
+        ["submit", "--port", "7777", "memcached", "--seed", "3", "--wait"]
+    )
+    assert args.port == 7777
+    assert args.wait
+    args = parser.parse_args(["fetch", "--port", "7777", "job-1", "--view", "quality"])
+    assert args.view == "quality"
+    args = parser.parse_args(["run-once", "synthetic", "--seed", "2"])
+    assert args.command == "run-once"
+
+
+def test_cli_run_once_executes_and_stores(tmp_path, capsys):
+    rc = main(
+        [
+            "run-once", "synthetic",
+            "--seed", "5",
+            "--duration", "80000",
+            "--store", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ok" in out
+    assert "archive" in out
+    assert list(tmp_path.glob("*.session.json"))
+
+
+def test_cli_submit_rejects_bad_spec():
+    with pytest.raises(SystemExit, match="bad job spec"):
+        main(
+            [
+                "run-once", "synthetic",
+                "--seed", "1",
+                "--inject-faults", "warp_drive=1",
+            ]
+        )

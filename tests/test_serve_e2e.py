@@ -1,0 +1,237 @@
+"""End-to-end service tests: a real server subprocess driven over TCP.
+
+These are the acceptance tests for ``repro.serve``: concurrent mixed
+bursts with zero lost/duplicated jobs, results bit-identical to one-shot
+runs, and a clean SIGTERM drain that requeues or finishes everything
+in flight.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import JobSpec, request_once
+from repro.serve.store import SessionStore
+from repro.serve.workers import execute_job
+
+HOST = "127.0.0.1"
+BOOT_TIMEOUT_S = 20.0
+#: Small windows keep each job ~0.1 s so bursts stay fast.
+DURATION = 100_000
+
+
+def _start_server(tmp_path, workers=2, queue_size=64, drain_grace=10.0):
+    """Boot ``repro.cli serve`` and wait for the port file."""
+    port_file = tmp_path / "port"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--workers", str(workers),
+            "--queue-size", str(queue_size),
+            "--store", str(tmp_path / "store"),
+            "--drain-grace", str(drain_grace),
+            "--port-file", str(port_file),
+        ],
+        cwd=Path(__file__).resolve().parent.parent,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            return proc, int(port_file.read_text())
+        if proc.poll() is not None:
+            raise AssertionError(f"server died at boot:\n{proc.stdout.read()}")
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("server did not write its port file in time")
+
+
+def _stop(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=10)
+    if proc.stdout:
+        proc.stdout.close()
+
+
+def _rpc(port, message, timeout=10.0):
+    return request_once(HOST, port, message, timeout=timeout)
+
+
+def _submit(port, scenario, seed, **extra):
+    spec = {"scenario": scenario, "seed": seed, "duration": DURATION, **extra}
+    response = _rpc(port, {"op": "submit", **spec})
+    assert response.get("ok"), response
+    return response["job_id"]
+
+
+def _wait_all(port, job_ids, timeout_s=60.0):
+    """Poll until every job reaches a terminal state; returns id -> job."""
+    deadline = time.monotonic() + timeout_s
+    jobs = {}
+    while time.monotonic() < deadline:
+        response = _rpc(port, {"op": "status"})
+        jobs = {j["job_id"]: j for j in response["jobs"]}
+        states = {jobs[i]["state"] for i in job_ids if i in jobs}
+        if states <= {"done", "failed", "requeued"} and len(jobs) >= len(job_ids):
+            return jobs
+        time.sleep(0.1)
+    raise AssertionError(f"jobs did not settle: { {i: jobs.get(i, {}).get('state') for i in job_ids} }")
+
+
+@pytest.mark.slow
+def test_serve_submit_fetch_and_metrics(tmp_path):
+    proc, port = _start_server(tmp_path)
+    try:
+        assert _rpc(port, {"op": "ping"})["ok"]
+        job_id = _submit(port, "synthetic", seed=5)
+        jobs = _wait_all(port, [job_id])
+        assert jobs[job_id]["state"] == "done"
+        assert jobs[job_id]["status"] == "ok"
+
+        fetched = _rpc(port, {"op": "fetch", "job_id": job_id})
+        assert fetched["ok"]
+        assert "Data profile view" in fetched["rendered"]
+
+        # The archive view returns the raw bytes, addressable by digest too.
+        by_digest = _rpc(
+            port,
+            {"op": "fetch", "job_id": jobs[job_id]["digest"], "view": "archive"},
+        )
+        assert by_digest["ok"]
+        assert json.loads(by_digest["archive"])
+
+        metrics = _rpc(port, {"op": "metrics"})
+        assert metrics["counters"]["jobs_done"] == 1
+        assert metrics["counters"]["reconciled"] is True
+        assert "repro_serve_jobs_done 1" in metrics["rendered"]
+    finally:
+        _stop(proc)
+
+
+@pytest.mark.slow
+def test_serve_results_bit_identical_to_one_shot(tmp_path):
+    """A fetched archive equals executing the same spec in-process."""
+    spec = JobSpec.create(
+        scenario="memcached", seed=23, duration=DURATION, engine="fast"
+    )
+    _, local_text, _ = execute_job(spec)
+
+    proc, port = _start_server(tmp_path)
+    try:
+        response = _rpc(port, {"op": "submit", **spec.to_wire()})
+        job_id = response["job_id"]
+        jobs = _wait_all(port, [job_id])
+        served = _rpc(port, {"op": "fetch", "job_id": job_id, "view": "archive"})
+        assert served["archive"] == local_text
+    finally:
+        _stop(proc)
+    # And the on-disk archive is the same bytes under its content digest.
+    store = SessionStore(tmp_path / "store")
+    assert store.read_text(jobs[job_id]["digest"]) == local_text
+
+
+@pytest.mark.slow
+def test_serve_concurrent_mixed_burst(tmp_path):
+    """20 mixed jobs on 4 workers: none lost, none duplicated, one degraded."""
+    proc, port = _start_server(tmp_path, workers=4)
+    try:
+        job_ids = []
+        scenarios = ["memcached", "apache", "synthetic"]
+        for i in range(19):
+            job_ids.append(_submit(port, scenarios[i % 3], seed=100 + i))
+        job_ids.append(
+            _submit(
+                port, "memcached", seed=200,
+                fault_spec="ibs_drop=0.3,seed=3",
+            )
+        )
+        assert len(set(job_ids)) == 20  # no duplicated ids
+
+        jobs = _wait_all(port, job_ids, timeout_s=120.0)
+        assert len(jobs) == 20  # no lost jobs
+        states = [jobs[i]["state"] for i in job_ids]
+        assert states == ["done"] * 20
+        statuses = [jobs[i]["status"] for i in job_ids]
+        assert statuses[:19] == ["ok"] * 19
+        assert statuses[19] == "degraded"
+
+        metrics = _rpc(port, {"op": "metrics"})["counters"]
+        assert metrics["jobs_submitted"] == 20
+        assert metrics["jobs_done"] == 20
+        assert metrics["jobs_degraded"] == 1
+        assert metrics["reconciled"] is True
+        # Equal specs dedup in the content-addressed store; distinct seeds
+        # mean every job here is unique.
+        assert len(SessionStore(tmp_path / "store").digests()) == 20
+    finally:
+        _stop(proc)
+
+
+@pytest.mark.slow
+def test_serve_sigterm_drains_and_requeues(tmp_path):
+    """SIGTERM mid-burst: every job finishes or is requeued, books balance."""
+    proc, port = _start_server(tmp_path, workers=2, drain_grace=10.0)
+    try:
+        job_ids = [
+            _submit(port, "apache", seed=300 + i) for i in range(10)
+        ]
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        assert proc.returncode == 0
+    finally:
+        _stop(proc)
+
+    store = SessionStore(tmp_path / "store")
+    requeued = store.read_requeue()
+    finished = len(store.digests())
+    # Every submitted job is either archived or persisted for requeue.
+    assert finished + len(requeued) >= len(job_ids)
+    for spec in requeued:
+        assert spec["scenario"] == "apache"
+        JobSpec.from_wire(spec)  # still valid for resubmission
+
+
+@pytest.mark.slow
+def test_serve_rejects_when_draining_is_clean(tmp_path):
+    """The shutdown op answers, then the server exits by itself."""
+    proc, port = _start_server(tmp_path)
+    try:
+        response = _rpc(port, {"op": "shutdown"})
+        assert response["ok"]
+        proc.wait(timeout=30)
+        assert proc.returncode == 0
+    finally:
+        _stop(proc)
+
+
+@pytest.mark.slow
+def test_serve_queue_backpressure(tmp_path):
+    """A full queue rejects with retry_after_s instead of blocking."""
+    proc, port = _start_server(tmp_path, workers=1, queue_size=2)
+    try:
+        rejected = None
+        for i in range(12):
+            response = _rpc(
+                port,
+                {
+                    "op": "submit", "scenario": "apache",
+                    "seed": 400 + i, "duration": DURATION,
+                },
+            )
+            if not response.get("ok"):
+                rejected = response
+                break
+        assert rejected is not None, "queue never filled"
+        assert rejected["code"] == "queue_full"
+        assert rejected["retry_after_s"] > 0
+    finally:
+        _stop(proc)
