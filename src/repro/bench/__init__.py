@@ -29,6 +29,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.dprof.analysis import (
+    StatsView,
+    amplify_corpus,
+    analyze_histories,
+    synthetic_history_corpus,
+)
 from repro.errors import BenchFormatError
 from repro.hw.fastpath import (
     BatchReplayEngine,
@@ -37,6 +43,7 @@ from repro.hw.fastpath import (
     replay_reference,
 )
 from repro.hw.machine import MachineConfig
+from repro.kernel.symbols import SymbolTable
 from repro.workloads import SCENARIOS, build_kernel
 
 #: Per-scenario measured windows (cycles): full runs and --smoke runs.
@@ -284,6 +291,200 @@ def bench_service_throughput(
     }
 
 
+def collect_history_session(
+    name: str, *, ncores: int, seed: int
+):
+    """Run one case-study workload under DProf and collect pairwise
+    skbuff histories (the same attach/collect pattern the ``diagnose``
+    command uses); returns the detached profiler."""
+    from repro.dprof import DProf, DProfConfig
+    from repro.workloads import ApacheWorkload, MemcachedWorkload
+
+    kernel = build_kernel(ncores, seed=seed, engine="fast")
+    workload = (
+        MemcachedWorkload(kernel) if name == "memcached" else ApacheWorkload(kernel)
+    )
+    workload.setup()
+    workload.start()
+    if name == "apache":
+        # Apache traffic is arrival-driven (memcached's clients are
+        # self-sustaining); push a schedule long enough to cover history
+        # collection or no skbuffs ever churn.  Its packet rate is also
+        # lower, so sample denser and warm up longer before arming the
+        # collector -- every seed then fills all three history sets.
+        workload.schedule_arrivals(
+            30_000_000, start_cycle=kernel.elapsed_cycles()
+        )
+    ibs_interval = 200 if name == "apache" else 400
+    warmup = 1_200_000 if name == "apache" else 600_000
+    kernel.run(until_cycle=150_000)
+    dprof = DProf(kernel, DProfConfig(ibs_interval=ibs_interval))
+    dprof.attach()
+    kernel.run(until_cycle=kernel.elapsed_cycles() + warmup)
+    dprof.collect_histories(
+        "skbuff", sets=3, hot_chunks=4, member_offsets=[0], pair=True
+    )
+    kernel.run(
+        until_cycle=kernel.elapsed_cycles() + 20_000_000,
+        stop_when=lambda: dprof.histories_done,
+    )
+    dprof.detach()
+    return dprof
+
+
+def _time_analysis(symbols, stats, corpus, *, mode, workers, repeats):
+    """Min-of-repeats wall time plus the result (for the equality check)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = analyze_histories(
+            symbols, stats, corpus, mode=mode, workers=workers
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_analysis_scenario(
+    name: str,
+    *,
+    ncores: int = 4,
+    seed: int = 11,
+    repeats: int = 3,
+    shards: int = 4,
+    variants: int = 32,
+) -> tuple[dict[str, Any], Any]:
+    """Time the analysis pipelines on one scenario's history corpus.
+
+    memcached/apache corpora are *real* collected pairwise skbuff
+    histories, amplified (type shards x ip-shifted variants) to the
+    family counts a richer code base would produce; synthetic uses the
+    generated multi-type corpus (its workload allocates only static
+    objects, so there is no slab churn to collect).  Returns the report
+    row plus, for memcached, the session's archive text (reused by the
+    view-cache benchmark so the archive carries real histories).
+    """
+    archive_text = None
+    if name == "synthetic":
+        symbols = SymbolTable()
+        stats = None
+        corpus = synthetic_history_corpus(
+            seed,
+            types=shards,
+            histories_per_type=48 * variants,
+            paths_per_type=4 + variants,
+        )
+    else:
+        from repro.dprof.session_io import export_session
+
+        dprof = collect_history_session(name, ncores=ncores, seed=seed)
+        symbols = dprof.kernel.symbols
+        stats = StatsView.from_sampler(dprof.sampler)
+        corpus = amplify_corpus(
+            dprof.history.histories_by_type(), shards=shards, variants=variants
+        )
+        if name == "memcached":
+            archive_text = json.dumps(export_session(dprof))
+    reference_s, ref_result = _time_analysis(
+        symbols, stats, corpus, mode="reference", workers=1, repeats=repeats
+    )
+    indexed_s, idx_result = _time_analysis(
+        symbols, stats, corpus, mode="indexed", workers=1, repeats=repeats
+    )
+    sharded_s, shard_result = _time_analysis(
+        symbols, stats, corpus, mode="indexed", workers=0, repeats=repeats
+    )
+    identical = ref_result == idx_result == shard_result
+    best_s = min(indexed_s, sharded_s)
+    row = {
+        "name": name,
+        "histories": sum(len(h) for h in corpus.values()),
+        "types": len(corpus),
+        "repeats": repeats,
+        "reference_s": round(reference_s, 6),
+        "indexed_s": round(indexed_s, 6),
+        "sharded_s": round(sharded_s, 6),
+        "speedup_indexed": round(reference_s / indexed_s, 3) if indexed_s else 0.0,
+        "speedup": round(reference_s / best_s, 3) if best_s else 0.0,
+        "identical": identical,
+    }
+    return row, archive_text
+
+
+def bench_view_cache(
+    archive_text: str, *, view: str = "working-set", repeats: int = 3
+) -> dict[str, Any]:
+    """Cold-vs-warm view rendering through the store's memoization layer.
+
+    Cold renders recompute the full offline analysis (clustering, merge,
+    cache simulation); warm ones are a single cache-file read.  Both are
+    min-of-repeats.  The hit rate comes from the cache's own counters.
+    """
+    from repro.serve.store import SessionStore
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-views-") as root:
+        store = SessionStore(root)
+        digest = store.put_text(archive_text)
+        cold_best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cold_text = store.render_view(digest, view, use_cache=False)
+            cold_best = min(cold_best, time.perf_counter() - t0)
+        warm_best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            warm_text = store.render_view(digest, view)
+            warm_best = min(warm_best, time.perf_counter() - t0)
+        assert warm_text == cold_text
+        hits, misses = store.views.hits, store.views.misses
+    total = hits + misses
+    return {
+        "view": view,
+        "repeats": repeats,
+        "cold_s": round(cold_best, 6),
+        "warm_s": round(warm_best, 6),
+        "speedup": round(cold_best / warm_best, 3) if warm_best else 0.0,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+    }
+
+
+def bench_analysis(
+    *,
+    scenarios: tuple[str, ...] = SCENARIO_ORDER,
+    ncores: int = 4,
+    seed: int = 11,
+    repeats: int = 3,
+    shards: int = 4,
+    variants: int = 32,
+) -> dict[str, Any]:
+    """The report's ``analysis`` section: pipeline timings + view cache."""
+    rows = []
+    memcached_archive = None
+    for name in scenarios:
+        row, archive_text = bench_analysis_scenario(
+            name,
+            ncores=ncores,
+            seed=seed,
+            repeats=repeats,
+            shards=shards,
+            variants=variants,
+        )
+        rows.append(row)
+        if archive_text is not None:
+            memcached_archive = archive_text
+    section: dict[str, Any] = {
+        "scenarios": rows,
+        "all_identical": all(row["identical"] for row in rows),
+    }
+    if memcached_archive is not None:
+        section["view_cache"] = bench_view_cache(
+            memcached_archive, repeats=repeats
+        )
+    return section
+
+
 def run_benchmarks(
     *,
     scenarios: tuple[str, ...] = SCENARIO_ORDER,
@@ -293,11 +494,15 @@ def run_benchmarks(
     repeats: int = 3,
     service_jobs: int = 0,
     service_workers: int = 4,
+    analysis: bool = False,
+    analysis_variants: int = 32,
 ) -> dict[str, Any]:
     """Run every scenario and assemble the BENCH_dprof.json document.
 
     ``service_jobs`` > 0 adds the service-throughput block (N concurrent
-    memcached jobs through a worker pool, jobs/minute).
+    memcached jobs through a worker pool, jobs/minute).  ``analysis``
+    adds the analysis-pipeline section (reference vs indexed vs sharded
+    clustering/merge timings plus the view-cache cold/warm comparison).
     """
     reports = [
         bench_scenario(
@@ -332,6 +537,14 @@ def run_benchmarks(
             seed=seed,
             duration_cycles=duration_cycles,
         )
+    if analysis:
+        document["analysis"] = bench_analysis(
+            scenarios=scenarios,
+            ncores=ncores,
+            seed=seed,
+            repeats=repeats,
+            variants=analysis_variants,
+        )
     return document
 
 
@@ -348,6 +561,27 @@ def format_table(document: dict[str, Any]) -> str:
             f"{row['speedup_including_encode']:>8.2f}x "
             f"{str(row['accuracy']['identical']):>10}"
         )
+    analysis = document.get("analysis")
+    if analysis:
+        lines.append("")
+        lines.append(
+            f"{'analysis':<12} {'histories':>9} {'ref (s)':>9} {'idx (s)':>9} "
+            f"{'shard (s)':>9} {'speedup':>8} {'identical':>10}"
+        )
+        for row in analysis["scenarios"]:
+            lines.append(
+                f"{row['name']:<12} {row['histories']:>9} "
+                f"{row['reference_s']:>9.4f} {row['indexed_s']:>9.4f} "
+                f"{row['sharded_s']:>9.4f} {row['speedup']:>7.2f}x "
+                f"{str(row['identical']):>10}"
+            )
+        cache = analysis.get("view_cache")
+        if cache:
+            lines.append(
+                f"view-cache   {cache['view']}: cold {cache['cold_s']:.4f}s, "
+                f"warm {cache['warm_s']:.6f}s ({cache['speedup']:.0f}x), "
+                f"hit rate {cache['hit_rate']:.2f}"
+            )
     return "\n".join(lines)
 
 
@@ -393,6 +627,32 @@ _SERVICE_SCHEMA = {
     "jobs_per_minute": _NUMBER,
     "statuses": dict,
 }
+_ANALYSIS_SCHEMA = {
+    "scenarios": list,
+    "all_identical": bool,
+}
+_ANALYSIS_SCENARIO_SCHEMA = {
+    "name": str,
+    "histories": int,
+    "types": int,
+    "repeats": int,
+    "reference_s": _NUMBER,
+    "indexed_s": _NUMBER,
+    "sharded_s": _NUMBER,
+    "speedup_indexed": _NUMBER,
+    "speedup": _NUMBER,
+    "identical": bool,
+}
+_VIEW_CACHE_SCHEMA = {
+    "view": str,
+    "repeats": int,
+    "cold_s": _NUMBER,
+    "warm_s": _NUMBER,
+    "speedup": _NUMBER,
+    "hits": int,
+    "misses": int,
+    "hit_rate": _NUMBER,
+}
 
 
 def _check_fields(blob: dict, schema: dict, where: str) -> None:
@@ -431,6 +691,23 @@ def validate_report(document: Any) -> None:
         if not isinstance(service, dict):
             raise BenchFormatError("service_throughput is not an object")
         _check_fields(service, _SERVICE_SCHEMA, "service_throughput")
+    analysis = document.get("analysis")
+    if analysis is not None:
+        if not isinstance(analysis, dict):
+            raise BenchFormatError("analysis is not an object")
+        _check_fields(analysis, _ANALYSIS_SCHEMA, "analysis")
+        if not analysis["scenarios"]:
+            raise BenchFormatError("analysis has no scenario rows")
+        for index, row in enumerate(analysis["scenarios"]):
+            where = f"analysis.scenarios[{index}]"
+            if not isinstance(row, dict):
+                raise BenchFormatError(f"{where}: row is not an object")
+            _check_fields(row, _ANALYSIS_SCENARIO_SCHEMA, where)
+        cache = analysis.get("view_cache")
+        if cache is not None:
+            if not isinstance(cache, dict):
+                raise BenchFormatError("analysis.view_cache is not an object")
+            _check_fields(cache, _VIEW_CACHE_SCHEMA, "analysis.view_cache")
 
 
 def write_report(document: dict[str, Any], path: str) -> None:

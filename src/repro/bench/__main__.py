@@ -59,17 +59,32 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for the service-throughput scenario",
     )
+    parser.add_argument(
+        "--analysis",
+        action="store_true",
+        help="also benchmark the analysis pipelines (reference vs indexed "
+        "vs sharded clustering/merge) and the store's view cache",
+    )
+    parser.add_argument(
+        "--analysis-variants",
+        type=int,
+        default=32,
+        metavar="N",
+        help="corpus amplification factor for the analysis benchmark",
+    )
     args = parser.parse_args(argv)
 
     duration = args.duration
     repeats = args.repeats
     service_jobs = args.service_jobs
     service_workers = args.service_workers
+    analysis_variants = args.analysis_variants
     if args.smoke:
         duration = duration or SMOKE_DURATION
         repeats = 1
         service_jobs = min(service_jobs, 4)
         service_workers = min(service_workers, 2)
+        analysis_variants = min(analysis_variants, 3)
     duration = duration or DEFAULT_DURATION
     scenarios = tuple(args.scenario) if args.scenario else SCENARIO_ORDER
 
@@ -81,6 +96,8 @@ def main(argv: list[str] | None = None) -> int:
         repeats=repeats,
         service_jobs=service_jobs,
         service_workers=service_workers,
+        analysis=args.analysis,
+        analysis_variants=analysis_variants,
     )
     print(format_table(document))
     service = document.get("service_throughput")
@@ -95,6 +112,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.out}")
     if not document["all_identical"]:
         print("ERROR: engines diverged; benchmark invalid", file=sys.stderr)
+        return 1
+    analysis = document.get("analysis")
+    if analysis and not analysis["all_identical"]:
+        print(
+            "ERROR: analysis pipelines diverged; benchmark invalid",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -82,13 +82,18 @@ def _profiled_memcached(
     interval: int,
     faults: FaultPlan | None = None,
     engine: str = "reference",
+    analysis: str = "indexed",
 ):
     kernel = Kernel(MachineConfig(ncores=cores, seed=11, engine=engine))
     workload = MemcachedWorkload(kernel)
     workload.setup()
     if fixed:
         install_local_queue_selection(workload.stack.dev)
-    dprof = DProf(kernel, DProfConfig(ibs_interval=interval), faults=faults)
+    dprof = DProf(
+        kernel,
+        DProfConfig(ibs_interval=interval, analysis=analysis),
+        faults=faults,
+    )
     dprof.attach()
     result = workload.run(duration, warmup_cycles=duration // 5)
     dprof.detach()
@@ -104,6 +109,7 @@ def cmd_memcached(args: argparse.Namespace) -> int:
         args.interval,
         faults=plan,
         engine=args.engine,
+        analysis=args.analysis,
     )
     label = "fixed (local TX queues)" if args.fixed else "stock (skb_tx_hash)"
     print(f"memcached on {args.cores} cores, {label}")
@@ -124,7 +130,11 @@ def cmd_apache(args: argparse.Namespace) -> int:
     workload.setup()
     if args.admission:
         apply_admission_control(workload.listeners.values(), args.admission)
-    dprof = DProf(kernel, DProfConfig(ibs_interval=args.interval), faults=plan)
+    dprof = DProf(
+        kernel,
+        DProfConfig(ibs_interval=args.interval, analysis=args.analysis),
+        faults=plan,
+    )
     dprof.attach()
     result = workload.run(args.duration, warmup_cycles=args.duration)
     dprof.detach()
@@ -147,7 +157,11 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     workload.setup()
     workload.start()
     kernel.run(until_cycle=150_000)
-    dprof = DProf(kernel, DProfConfig(ibs_interval=args.interval), faults=plan)
+    dprof = DProf(
+        kernel,
+        DProfConfig(ibs_interval=args.interval, analysis=args.analysis),
+        faults=plan,
+    )
     dprof.attach()
     kernel.run(until_cycle=kernel.elapsed_cycles() + 600_000)
     dprof.collect_histories(
@@ -192,6 +206,7 @@ def _spec_from_args(args: argparse.Namespace):
             duration=args.duration,
             interval=args.interval,
             fault_spec=args.inject_faults,
+            analysis=args.analysis,
             priority=getattr(args, "priority", 0),
         )
     except ServeError as exc:
@@ -362,6 +377,19 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_analysis_flag(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--analysis",
+            choices=("indexed", "reference"),
+            default="indexed",
+            help=(
+                "analysis pipeline; 'indexed' clusters histories via an "
+                "inverted index and shards by type across processes, "
+                "bit-identical to 'reference' but quicker (equivalence is "
+                "enforced by tests/test_analysis_equivalence.py)"
+            ),
+        )
+
     def add_fault_flag(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--inject-faults",
@@ -382,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--interval", type=int, default=400)
     mc.add_argument("--top", type=int, default=8)
     add_engine_flag(mc)
+    add_analysis_flag(mc)
     add_fault_flag(mc)
     mc.set_defaults(func=cmd_memcached)
 
@@ -393,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--interval", type=int, default=400)
     ap.add_argument("--top", type=int, default=8)
     add_engine_flag(ap)
+    add_analysis_flag(ap)
     add_fault_flag(ap)
     ap.set_defaults(func=cmd_apache)
 
@@ -401,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
     dg.add_argument("--interval", type=int, default=300)
     dg.add_argument("--top", type=int, default=6)
     add_engine_flag(dg)
+    add_analysis_flag(dg)
     add_fault_flag(dg)
     dg.set_defaults(func=cmd_diagnose)
 
@@ -433,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument(
             "--engine", choices=("reference", "fast"), default="fast"
         )
+        add_analysis_flag(sub_parser)
         add_fault_flag(sub_parser)
 
     sv = sub.add_parser(

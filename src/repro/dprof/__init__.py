@@ -28,6 +28,13 @@ from repro.dprof.records import (
     PathTrace,
     PathTraceEntry,
 )
+from repro.dprof.analysis import (
+    ANALYSIS_MODES,
+    IndexedPathTraceBuilder,
+    StatsView,
+    analyze_histories,
+    builder_for,
+)
 from repro.dprof.profiler import DProf, DProfConfig
 from repro.dprof.diagnosis import Diagnosis, Finding
 from repro.dprof.quality import DataQuality
@@ -40,6 +47,11 @@ __all__ = [
     "ObjectAccessHistory",
     "PathTrace",
     "PathTraceEntry",
+    "ANALYSIS_MODES",
+    "IndexedPathTraceBuilder",
+    "StatsView",
+    "analyze_histories",
+    "builder_for",
     "DProf",
     "DProfConfig",
     "DataQuality",

@@ -34,6 +34,26 @@ from repro.hw.events import CacheLevel
 from repro.kernel.symbols import SymbolTable
 from repro.util.stats import OnlineStats
 
+#: "No offset observed yet" sentinel for an event's low byte bound; far
+#: above any real object offset.  Shared with the indexed pipeline in
+#: :mod:`repro.dprof.analysis`, which must replicate it bit-for-bit.
+OFFSET_SENTINEL = 1 << 62
+
+
+def canonical_trace_order(traces) -> list[PathTrace]:
+    """Path traces by descending frequency with a *stable* tie-break.
+
+    Equal-frequency traces used to keep whatever dict-insertion order the
+    builder happened to produce; content-addressed caching and the
+    indexed/reference equivalence contract both need a total order that
+    depends only on the traces themselves, so ties break on (type name,
+    path key).  Path keys are unique per trace after deduplication, so
+    the result is fully determined.
+    """
+    return sorted(
+        traces, key=lambda t: (-t.frequency, t.type_name, t.path_key())
+    )
+
 
 @dataclass
 class _Event:
@@ -45,7 +65,7 @@ class _Event:
     cpu_changed: bool
     is_write: bool
     times: OnlineStats = field(default_factory=OnlineStats)
-    lo: int = 1 << 62
+    lo: int = OFFSET_SENTINEL
     hi: int = 0
 
     @property
@@ -116,7 +136,7 @@ class PathTraceBuilder:
                 existing.frequency += trace.frequency
             else:
                 traces[trace.path_key()] = trace
-        return sorted(traces.values(), key=lambda t: t.frequency, reverse=True)
+        return canonical_trace_order(traces.values())
 
     @staticmethod
     def unique_paths(histories: list[ObjectAccessHistory]) -> set[tuple]:
@@ -290,7 +310,7 @@ class PathTraceBuilder:
                 }
                 mean_latency = stats.latency.mean
                 sample_count = stats.count
-        lo = event.lo if event.lo < (1 << 62) else event.chunk[0]
+        lo = event.lo if event.lo < OFFSET_SENTINEL else event.chunk[0]
         hi = event.hi if event.hi > 0 else event.chunk[0] + event.chunk[1]
         return PathTraceEntry(
             ip=event.ip,

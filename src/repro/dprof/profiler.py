@@ -20,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dprof.access_sampler import AccessSampleCollector
+from repro.dprof.analysis import analyze_histories, builder_for
 from repro.dprof.cachesim import DProfCacheSim, WorkingSetSimResult
 from repro.dprof.history import DEFAULT_CHUNK_SIZE, HistoryCollector
-from repro.dprof.pathtrace import PathTraceBuilder
 from repro.dprof.quality import DataQuality
 from repro.dprof.records import AddressSet, PathTrace
 from repro.dprof.resolver import TypeResolver
@@ -67,6 +67,12 @@ class DProfConfig:
     #: prototype), a cap = DCPI-style spilling (aggregates keep counting).
     max_resident_samples: int | None = None
     seed: int = 99
+    #: Analysis pipeline: "indexed" (inverted-index clustering, optionally
+    #: sharded across processes) or "reference" (the straightforward
+    #: implementation).  Bit-identical outputs either way.
+    analysis: str = "indexed"
+    #: Process count for multi-type analysis; 0 = one per available CPU.
+    analysis_workers: int = 0
 
 
 class DProf:
@@ -225,7 +231,9 @@ class DProf:
         """Path traces for one type (built lazily, cached)."""
         cached = self._traces_cache.get(type_name)
         if cached is None:
-            builder = PathTraceBuilder(self.kernel.symbols, self.sampler)
+            builder = builder_for(
+                self.config.analysis, self.kernel.symbols, self.sampler
+            )
             cached = builder.build(type_name, self.history.histories_for(type_name))
             self._traces_cache[type_name] = cached
         return cached
@@ -247,10 +255,26 @@ class DProf:
     def working_set_sim(self) -> WorkingSetSimResult:
         """DProf's offline cache simulation result (cached)."""
         if self._sim_cache is None:
-            traces = {
-                name: self.path_traces(name)
-                for name in {h.type_name for h in self.history.histories}
+            # Build every type's traces in one analysis pass so the
+            # sharded pipeline can parallelize across types; types a
+            # caller already built individually keep their cached result.
+            by_type = self.history.histories_by_type()
+            pending = {
+                name: hists
+                for name, hists in by_type.items()
+                if name not in self._traces_cache
             }
+            if pending:
+                self._traces_cache.update(
+                    analyze_histories(
+                        self.kernel.symbols,
+                        self.sampler,
+                        pending,
+                        mode=self.config.analysis,
+                        workers=self.config.analysis_workers,
+                    )
+                )
+            traces = {name: self.path_traces(name) for name in by_type}
             sim = DProfCacheSim(self._sim_geometry(), self.rng.child("cachesim"))
             self._sim_cache = sim.simulate(
                 self.address_set, traces, max_objects=self.config.sim_max_objects

@@ -25,8 +25,8 @@ import json
 import os
 from pathlib import Path
 
+from repro.dprof.analysis import analyze_histories, builder_for
 from repro.dprof.cachesim import DProfCacheSim, WorkingSetSimResult
-from repro.dprof.pathtrace import PathTraceBuilder
 from repro.dprof.quality import DataQuality
 from repro.dprof.records import (
     AccessStats,
@@ -219,8 +219,17 @@ class OfflineSession:
     :class:`~repro.errors.SessionFormatError` instead.
     """
 
-    def __init__(self, blob: dict, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        blob: dict,
+        path: str | Path | None = None,
+        *,
+        analysis: str = "indexed",
+        analysis_workers: int = 0,
+    ) -> None:
         self.path = path
+        self.analysis = analysis
+        self.analysis_workers = analysis_workers
         version = blob.get("version")
         if version not in (1, FORMAT_VERSION):
             raise SessionFormatError(
@@ -321,7 +330,7 @@ class OfflineSession:
     def path_traces(self, type_name: str):
         cached = self._traces_cache.get(type_name)
         if cached is None:
-            builder = PathTraceBuilder(self.symbols, self.sampler)
+            builder = builder_for(self.analysis, self.symbols, self.sampler)
             relevant = [h for h in self.histories if h.type_name == type_name]
             cached = builder.build(type_name, relevant)
             self._traces_cache[type_name] = cached
@@ -333,10 +342,27 @@ class OfflineSession:
             sim = DProfCacheSim(
                 CacheGeometry(size, ways, line), DeterministicRng(3, "offline")
             )
-            traces = {
-                name: self.path_traces(name)
-                for name in {h.type_name for h in self.histories}
+            # One batch analysis pass (sharded when configured) for every
+            # type not already built individually.
+            by_type: dict[str, list[ObjectAccessHistory]] = {}
+            for h in self.histories:
+                by_type.setdefault(h.type_name, []).append(h)
+            pending = {
+                name: hists
+                for name, hists in by_type.items()
+                if name not in self._traces_cache
             }
+            if pending:
+                self._traces_cache.update(
+                    analyze_histories(
+                        self.symbols,
+                        self.sampler,
+                        pending,
+                        mode=self.analysis,
+                        workers=self.analysis_workers,
+                    )
+                )
+            traces = {name: self.path_traces(name) for name in by_type}
             self._sim_cache = sim.simulate(self.address_set, traces)
         return self._sim_cache
 
@@ -453,7 +479,12 @@ class _SectionRecovery:
         return True
 
 
-def load_session(path: str | Path) -> OfflineSession:
+def load_session(
+    path: str | Path,
+    *,
+    analysis: str = "indexed",
+    analysis_workers: int = 0,
+) -> OfflineSession:
     """Read a session archive and return an offline analysis handle.
 
     Raises :class:`~repro.errors.SessionFormatError` (never a bare
@@ -477,4 +508,6 @@ def load_session(path: str | Path) -> OfflineSession:
         ) from exc
     if not isinstance(blob, dict):
         raise SessionFormatError("archive root is not an object", path=path)
-    return OfflineSession(blob, path=path)
+    return OfflineSession(
+        blob, path=path, analysis=analysis, analysis_workers=analysis_workers
+    )

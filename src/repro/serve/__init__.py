@@ -26,7 +26,7 @@ from repro.serve.jobs import Job, JobQueue, JobSpec
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import ServeClient, request_once
 from repro.serve.server import ProfilingServer
-from repro.serve.store import SessionStore
+from repro.serve.store import SessionStore, ViewCache
 from repro.serve.workers import WorkerPool, execute_job, execute_job_to_store
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "ServeClient",
     "ServeMetrics",
     "SessionStore",
+    "ViewCache",
     "WorkerPool",
     "execute_job",
     "execute_job_to_store",

@@ -27,6 +27,7 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 
+from repro.dprof.analysis import ANALYSIS_MODES
 from repro.dprof.quality import EXIT_DEGRADED, EXIT_OK
 from repro.errors import FaultInjectionError, QueueFullError, ServeError
 from repro.faults import FaultPlan
@@ -62,6 +63,9 @@ class JobSpec:
     duration: int = 0  # 0 = scenario default, resolved by create()
     interval: int = 400
     fault_spec: str | None = None
+    #: Analysis pipeline for the session's offline half ("indexed" or
+    #: "reference"); both produce bit-identical archives and views.
+    analysis: str = "indexed"
     #: Higher runs sooner; does not affect the session result, so it is
     #: excluded from the content digest.
     priority: int = 0
@@ -89,6 +93,11 @@ class JobSpec:
             raise ServeError(
                 f"unknown engine {spec.engine!r} (choose {' or '.join(VALID_ENGINES)})"
             )
+        if spec.analysis not in ANALYSIS_MODES:
+            raise ServeError(
+                f"unknown analysis {spec.analysis!r} "
+                f"(choose {' or '.join(ANALYSIS_MODES)})"
+            )
         for name in ("cores", "duration", "interval"):
             value = getattr(spec, name)
             if not isinstance(value, int) or value <= 0:
@@ -115,6 +124,7 @@ class JobSpec:
                 "duration",
                 "interval",
                 "fault_spec",
+                "analysis",
                 "priority",
             )
             if message.get(name) is not None

@@ -37,6 +37,10 @@ class ServeMetrics:
         self.jobs_requeued = 0
         self.job_retries = 0
         self.worker_restarts = 0
+        #: Memoized-view cache traffic, mirrored from the store's
+        #: :class:`~repro.serve.store.ViewCache` at snapshot time.
+        self.view_cache_hits = 0
+        self.view_cache_misses = 0
         self._wall: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------------
@@ -94,6 +98,8 @@ class ServeMetrics:
             "jobs_requeued": self.jobs_requeued,
             "job_retries": self.job_retries,
             "worker_restarts": self.worker_restarts,
+            "view_cache_hits": self.view_cache_hits,
+            "view_cache_misses": self.view_cache_misses,
             "queue_depth": queue_depth,
             "jobs_running": running,
             "reconciled": self.reconciled(queue_depth, running),

@@ -385,6 +385,10 @@ class ProfilingServer:
 
     def _op_metrics(self, _message: dict) -> dict:
         depth, running = len(self.queue), len(self.running)
+        # The view cache counts its own traffic; mirror it into the
+        # metrics registry so one snapshot carries everything.
+        self.metrics.view_cache_hits = self.store.views.hits
+        self.metrics.view_cache_misses = self.store.views.misses
         return {
             "ok": True,
             "counters": self.metrics.counters(depth, running),

@@ -22,6 +22,12 @@ Views are rendered from archives via
 :class:`~repro.dprof.session_io.OfflineSession`, i.e. without re-running
 any simulation -- the "decouple collection from analysis" half of the
 service.
+
+Rendered views are themselves memoized by :class:`ViewCache`: the
+archive digest pins the raw input exactly (content addressing), so a
+(digest, view, params) key can never serve stale text, and re-fetching
+an already-rendered view is one file read instead of a full offline
+analysis (clustering + merge + cache simulation).
 """
 
 from __future__ import annotations
@@ -54,9 +60,77 @@ VIEW_NAMES = (
 )
 
 
+#: Bump when any view's rendering changes; stale cache entries from an
+#: older build then simply never match and age out.
+VIEW_CACHE_VERSION = 1
+
+#: Subdirectory of a store root holding memoized view renderings.
+VIEW_CACHE_DIR = "views"
+
+#: Cached-view filename suffix.
+VIEW_SUFFIX = ".view"
+
+
 def content_digest(text: str) -> str:
     """SHA-256 hex digest of an archive's exact bytes."""
     return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ViewCache:
+    """Content-addressed memoization of rendered views.
+
+    Keys are the SHA-256 of (cache version, archive digest, view name,
+    view params); because the archive digest already pins the raw input
+    bytes, a hit is guaranteed to equal what a fresh render would
+    produce.  Entries are written with the same same-directory-temp +
+    ``os.replace`` discipline as archives, so concurrent renderers race
+    harmlessly.  Hit/miss counters feed :class:`~repro.serve.metrics.ServeMetrics`.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, digest: str, view: str, type_name: str | None, top: int) -> str:
+        material = json.dumps(
+            [VIEW_CACHE_VERSION, digest, view, type_name, top],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{VIEW_SUFFIX}"
+
+    def get(self, key: str) -> str | None:
+        """The cached rendering, or None (counted as hit/miss)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return text
+
+    def put(self, key: str, text: str) -> None:
+        """Memoize one rendering (atomic, idempotent)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        if not path.exists():
+            atomic_write_text(path, text)
+
+    def entry_count(self) -> int:
+        """Cached renderings currently on disk."""
+        return sum(1 for _ in self.root.glob(f"*{VIEW_SUFFIX}"))
+
+    def sweep_tmp(self) -> int:
+        """Remove stale temp files from crashed writers."""
+        removed = 0
+        for tmp in self.root.glob(f"{TMP_PREFIX}*"):
+            tmp.unlink(missing_ok=True)
+            removed += 1
+        return removed
 
 
 class SessionStore:
@@ -65,6 +139,7 @@ class SessionStore:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.views = ViewCache(self.root / VIEW_CACHE_DIR)
 
     # ------------------------------------------------------------------
     # Writing
@@ -105,7 +180,7 @@ class SessionStore:
         for tmp in self.root.glob(f"{TMP_PREFIX}*"):
             tmp.unlink(missing_ok=True)
             removed += 1
-        return removed
+        return removed + self.views.sweep_tmp()
 
     # ------------------------------------------------------------------
     # Reading
@@ -162,14 +237,34 @@ class SessionStore:
         view: str,
         type_name: str | None = None,
         top: int = 8,
+        use_cache: bool = True,
     ) -> str:
-        """Render one stored session as a named DProf view."""
+        """Render one stored session as a named DProf view.
+
+        Renders are memoized through :attr:`views` (content-addressed,
+        so never stale); ``use_cache=False`` forces recomputation.  The
+        ``archive`` view is the raw file itself and bypasses the cache.
+        """
         if view not in VIEW_NAMES:
             raise ServeError(
                 f"unknown view {view!r} (known: {', '.join(VIEW_NAMES)})"
             )
         if view == "archive":
             return self.read_text(digest)
+        if not self.has(digest):
+            raise ServeError(f"no archive {digest[:12]}... in store {self.root}")
+        key = self.views.key(digest, view, type_name, top)
+        if use_cache:
+            cached = self.views.get(key)
+            if cached is not None:
+                return cached
+        text = self._render_view_uncached(digest, view, type_name, top)
+        self.views.put(key, text)
+        return text
+
+    def _render_view_uncached(
+        self, digest: str, view: str, type_name: str | None, top: int
+    ) -> str:
         session = self.open(digest)
         if view == "data-profile":
             return session.data_profile().render(top)

@@ -46,7 +46,9 @@ def execute_job(spec: JobSpec) -> tuple[str, str, dict]:
     """
     kernel = build_kernel(spec.cores, seed=spec.seed, engine=spec.engine)
     dprof = DProf(
-        kernel, DProfConfig(ibs_interval=spec.interval), faults=spec.fault_plan()
+        kernel,
+        DProfConfig(ibs_interval=spec.interval, analysis=spec.analysis),
+        faults=spec.fault_plan(),
     )
     dprof.attach()
     try:

@@ -50,8 +50,83 @@ def _valid_document():
     }
 
 
+def _valid_analysis_section():
+    return {
+        "scenarios": [
+            {
+                "name": "memcached",
+                "histories": 960,
+                "types": 4,
+                "repeats": 3,
+                "reference_s": 0.8,
+                "indexed_s": 0.2,
+                "sharded_s": 0.25,
+                "speedup_indexed": 4.0,
+                "speedup": 4.0,
+                "identical": True,
+            }
+        ],
+        "all_identical": True,
+        "view_cache": {
+            "view": "working-set",
+            "repeats": 3,
+            "cold_s": 0.4,
+            "warm_s": 0.001,
+            "speedup": 400.0,
+            "hits": 3,
+            "misses": 1,
+            "hit_rate": 0.75,
+        },
+    }
+
+
 def test_valid_document_passes():
     validate_report(_valid_document())
+
+
+def test_analysis_section_validates():
+    document = _valid_document()
+    document["analysis"] = _valid_analysis_section()
+    validate_report(document)
+
+
+def test_analysis_view_cache_is_optional():
+    document = _valid_document()
+    document["analysis"] = _valid_analysis_section()
+    del document["analysis"]["view_cache"]
+    validate_report(document)
+
+
+def test_rejects_analysis_missing_identity_flag():
+    document = _valid_document()
+    document["analysis"] = _valid_analysis_section()
+    del document["analysis"]["all_identical"]
+    with pytest.raises(BenchFormatError, match="all_identical"):
+        validate_report(document)
+
+
+def test_rejects_empty_analysis_scenarios():
+    document = _valid_document()
+    document["analysis"] = _valid_analysis_section()
+    document["analysis"]["scenarios"] = []
+    with pytest.raises(BenchFormatError, match="no scenario rows"):
+        validate_report(document)
+
+
+def test_rejects_analysis_row_missing_speedup():
+    document = _valid_document()
+    document["analysis"] = _valid_analysis_section()
+    del document["analysis"]["scenarios"][0]["speedup"]
+    with pytest.raises(BenchFormatError, match="speedup"):
+        validate_report(document)
+
+
+def test_rejects_malformed_view_cache_block():
+    document = _valid_document()
+    document["analysis"] = _valid_analysis_section()
+    document["analysis"]["view_cache"]["hit_rate"] = "most"
+    with pytest.raises(BenchFormatError, match="hit_rate"):
+        validate_report(document)
 
 
 def test_service_block_is_optional():

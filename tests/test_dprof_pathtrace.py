@@ -1,6 +1,6 @@
 """Tests for path trace construction: clustering, merging, augmentation."""
 
-from repro.dprof.pathtrace import PathTraceBuilder
+from repro.dprof.pathtrace import PathTraceBuilder, canonical_trace_order
 from repro.dprof.records import HistoryElement, ObjectAccessHistory
 from repro.kernel.symbols import SymbolTable
 
@@ -166,6 +166,45 @@ class TestPairwiseMerge:
         entries = traces[0].entries
         assert entries[0].offsets[0] == 0
         assert entries[1].offsets[0] == 2
+
+
+class TestCanonicalOrder:
+    def test_equal_frequency_ties_break_on_path_key(self):
+        # Two disconnected families, both frequency 1: frequency alone
+        # cannot order them, so the output must fall back to the stable
+        # (type name, path key) secondary key.
+        builder, ips = make_builder()
+        h_a = make_history([(0, 4)], [(0, ips["use"], 0, 50, False)])
+        h_b = make_history([(8, 4)], [(8, ips["init"], 0, 10, True)], cookie=2)
+        traces = builder.build("widget", [h_a, h_b])
+        assert len(traces) == 2
+        assert [t.path_key() for t in traces] == sorted(
+            t.path_key() for t in traces
+        )
+
+    def test_output_order_independent_of_input_order(self):
+        # The pre-fix builder sorted by frequency only; Python's stable
+        # sort then leaked history *insertion* order into the output.
+        builder, ips = make_builder()
+        h_a = make_history([(0, 4)], [(0, ips["use"], 0, 50, False)])
+        h_b = make_history([(8, 4)], [(8, ips["init"], 0, 10, True)], cookie=2)
+        forward = builder.build("widget", [h_a, h_b])
+        backward = builder.build("widget", [h_b, h_a])
+        key = lambda t: (t.frequency, [(e.ip, e.fn) for e in t.entries])
+        assert [key(t) for t in forward] == [key(t) for t in backward]
+
+    def test_canonical_trace_order_sorts_frequency_then_key(self):
+        builder, ips = make_builder()
+        rare = make_history([(0, 4)], [(0, ips["use"], 0, 50, False)])
+        common = [
+            make_history(
+                [(8, 4)], [(8, ips["init"], 0, 10, True)], cookie=10 + i
+            )
+            for i in range(3)
+        ]
+        traces = builder.build("widget", [rare, *common])
+        assert [t.frequency for t in traces] == [3, 1]
+        assert canonical_trace_order(reversed(traces)) == traces
 
 
 class TestUniquePaths:

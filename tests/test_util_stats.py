@@ -2,10 +2,11 @@
 
 import math
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.stats import Histogram, OnlineStats, mean, weighted_mean
+from repro.util.stats import Histogram, OnlineStats, mean, percentile, weighted_mean
 
 
 def test_online_stats_basic():
@@ -84,3 +85,39 @@ def test_mean_helpers():
     assert mean([2, 4]) == 3.0
     assert weighted_mean([]) == 0.0
     assert weighted_mean([(10, 1), (20, 3)]) == 17.5
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+
+
+@pytest.mark.parametrize("q", [-0.001, -5.0, 100.001, 200.0])
+def test_percentile_rejects_q_outside_range(q):
+    with pytest.raises(ValueError):
+        percentile([1.0, 2.0], q)
+
+
+@pytest.mark.parametrize("q", [0.0, 50.0, 100.0])
+def test_percentile_single_element(q):
+    assert percentile([7.5], q) == 7.5
+
+
+def test_percentile_interpolates_between_ranks():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.0) == 10.0
+    assert percentile(values, 100.0) == 40.0
+    assert percentile(values, 50.0) == 25.0
+    assert math.isclose(percentile(values, 25.0), 17.5)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_percentile_stays_within_bounds(values, q):
+    values.sort()
+    result = percentile(values, q)
+    # The lerp can round a few ulps past an endpoint; allow that only.
+    tol = 1e-9 * max(1.0, abs(values[0]), abs(values[-1]))
+    assert values[0] - tol <= result <= values[-1] + tol
