@@ -17,10 +17,9 @@ Reproduces the investigation:
 Run:  python examples/apache_case_study.py      (takes a few minutes)
 """
 
+from repro.api import DProf, DProfConfig, MachineConfig
 from repro.baselines import LockStatReport
-from repro.dprof import DProf, DProfConfig
 from repro.fixes import apply_admission_control
-from repro.hw.machine import MachineConfig
 from repro.kernel import Kernel
 from repro.workloads import ApacheConfig, ApacheWorkload
 

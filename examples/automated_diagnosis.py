@@ -11,8 +11,7 @@ transmit path, unprompted.
 Run:  python examples/automated_diagnosis.py     (about a minute)
 """
 
-from repro.dprof import Diagnosis, DProf, DProfConfig
-from repro.hw.machine import MachineConfig
+from repro.api import DProf, DProfConfig, Diagnosis, MachineConfig
 from repro.kernel import Kernel
 from repro.workloads import MemcachedWorkload
 

@@ -22,10 +22,9 @@ can judge the paper's comparison yourself.
 Run:  python examples/memcached_case_study.py      (takes a minute or two)
 """
 
+from repro.api import DProf, DProfConfig, MachineConfig
 from repro.baselines import LockStatReport, OProfile
-from repro.dprof import DProf, DProfConfig
 from repro.fixes import install_local_queue_selection
-from repro.hw.machine import MachineConfig
 from repro.kernel import Kernel
 from repro.workloads import MemcachedWorkload
 

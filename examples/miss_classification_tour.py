@@ -18,10 +18,9 @@ Run:  python examples/miss_classification_tour.py
 
 from collections import Counter
 
-from repro.dprof import DProf, DProfConfig
+from repro.api import DProf, DProfConfig, MachineConfig
 from repro.dprof.views import MissClass
 from repro.hw.events import MissKind
-from repro.hw.machine import MachineConfig
 from repro.kernel import Kernel
 from repro.workloads.synthetic import (
     capacity_workload,

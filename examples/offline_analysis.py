@@ -13,9 +13,8 @@ Run:  python examples/offline_analysis.py
 import tempfile
 from pathlib import Path
 
-from repro.dprof import DProf, DProfConfig
+from repro.api import DProf, DProfConfig, MachineConfig
 from repro.dprof.session_io import load_session, save_session
-from repro.hw.machine import MachineConfig
 from repro.kernel import Kernel
 from repro.workloads import MemcachedWorkload
 

@@ -15,9 +15,8 @@ cores -- the paper's core pitch in miniature.
 Run:  python examples/quickstart.py
 """
 
-from repro.dprof import DProf, DProfConfig
+from repro.api import DProf, DProfConfig, MachineConfig
 from repro.dprof.views import MissClass
-from repro.hw.machine import MachineConfig
 from repro.kernel import Kernel, StructType
 
 COUNTER_TYPE = StructType(

@@ -297,7 +297,7 @@ def collect_history_session(
     """Run one case-study workload under DProf and collect pairwise
     skbuff histories (the same attach/collect pattern the ``diagnose``
     command uses); returns the detached profiler."""
-    from repro.dprof import DProf, DProfConfig
+    from repro.dprof.profiler import DProf, DProfConfig
     from repro.workloads import ApacheWorkload, MemcachedWorkload
 
     kernel = build_kernel(ncores, seed=seed, engine="fast")
@@ -485,6 +485,71 @@ def bench_analysis(
     return section
 
 
+def bench_self_profile(
+    *,
+    scenario: str = "synthetic",
+    ncores: int = 4,
+    seed: int = 11,
+    duration_cycles: int = 100_000,
+    repeats: int = 5,
+) -> dict[str, Any]:
+    """The tracing subsystem benchmarking *itself*: overhead + stage totals.
+
+    Runs the same job spec through :func:`repro.serve.workers.execute_job`
+    with tracing off and on and reports the wall overhead tracing adds,
+    plus the traced run's per-stage wall/cpu totals -- the
+    ``self_profile`` section of BENCH_dprof.json.  The overhead gate
+    (<5% on smoke scenarios) is asserted by ``tests/test_trace.py``
+    against this same measurement.
+
+    Traced and untraced repeats are *interleaved* (and both take the
+    minimum) so slow machine-load drift hits both sides equally instead
+    of biasing whichever ran second.
+    """
+    from repro.serve.jobs import JobSpec
+    from repro.serve.workers import execute_job
+    from repro.trace import Tracer
+
+    spec = JobSpec.create(
+        scenario=scenario,
+        cores=ncores,
+        seed=seed,
+        duration=duration_cycles,
+        engine="fast",
+    )
+    execute_job(spec)  # warmup: imports, interned symbols, allocator
+    untraced_best = float("inf")
+    traced_best = float("inf")
+    tracer = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        execute_job(spec)
+        untraced_best = min(untraced_best, time.perf_counter() - t0)
+        candidate = Tracer(seed=spec.seed)
+        t0 = time.perf_counter()
+        execute_job(spec, tracer=candidate)
+        elapsed = time.perf_counter() - t0
+        if elapsed < traced_best:
+            traced_best = elapsed
+            tracer = candidate
+    overhead = (
+        (traced_best - untraced_best) / untraced_best * 100.0
+        if untraced_best
+        else 0.0
+    )
+    assert tracer is not None
+    return {
+        "scenario": scenario,
+        "duration_cycles": duration_cycles,
+        "repeats": repeats,
+        "untraced_s": round(untraced_best, 6),
+        "traced_s": round(traced_best, 6),
+        "overhead_pct": round(overhead, 3),
+        "spans": len(tracer.spans),
+        "stages": tracer.stage_totals(),
+    }
+
+
 def run_benchmarks(
     *,
     scenarios: tuple[str, ...] = SCENARIO_ORDER,
@@ -496,6 +561,7 @@ def run_benchmarks(
     service_workers: int = 4,
     analysis: bool = False,
     analysis_variants: int = 32,
+    self_profile: bool = False,
 ) -> dict[str, Any]:
     """Run every scenario and assemble the BENCH_dprof.json document.
 
@@ -503,6 +569,8 @@ def run_benchmarks(
     memcached jobs through a worker pool, jobs/minute).  ``analysis``
     adds the analysis-pipeline section (reference vs indexed vs sharded
     clustering/merge timings plus the view-cache cold/warm comparison).
+    ``self_profile`` adds the tracing-overhead section (traced vs
+    untraced smoke run plus the traced run's span stage totals).
     """
     reports = [
         bench_scenario(
@@ -545,6 +613,13 @@ def run_benchmarks(
             repeats=repeats,
             variants=analysis_variants,
         )
+    if self_profile:
+        document["self_profile"] = bench_self_profile(
+            ncores=ncores,
+            seed=seed,
+            duration_cycles=min(duration_cycles, 100_000),
+            repeats=max(repeats, 5),
+        )
     return document
 
 
@@ -581,6 +656,19 @@ def format_table(document: dict[str, Any]) -> str:
                 f"view-cache   {cache['view']}: cold {cache['cold_s']:.4f}s, "
                 f"warm {cache['warm_s']:.6f}s ({cache['speedup']:.0f}x), "
                 f"hit rate {cache['hit_rate']:.2f}"
+            )
+    profile = document.get("self_profile")
+    if profile:
+        lines.append("")
+        lines.append(
+            f"self-profile {profile['scenario']}: untraced "
+            f"{profile['untraced_s']:.4f}s, traced {profile['traced_s']:.4f}s "
+            f"({profile['overhead_pct']:+.2f}%, {profile['spans']} spans)"
+        )
+        for stage, totals in sorted(profile["stages"].items()):
+            lines.append(
+                f"  {stage:<22} x{totals['count']:<3} "
+                f"wall {totals['wall_s']:.4f}s cpu {totals['cpu_s']:.4f}s"
             )
     return "\n".join(lines)
 
@@ -642,6 +730,16 @@ _ANALYSIS_SCENARIO_SCHEMA = {
     "speedup_indexed": _NUMBER,
     "speedup": _NUMBER,
     "identical": bool,
+}
+_SELF_PROFILE_SCHEMA = {
+    "scenario": str,
+    "duration_cycles": int,
+    "repeats": int,
+    "untraced_s": _NUMBER,
+    "traced_s": _NUMBER,
+    "overhead_pct": _NUMBER,
+    "spans": int,
+    "stages": dict,
 }
 _VIEW_CACHE_SCHEMA = {
     "view": str,
@@ -708,6 +806,16 @@ def validate_report(document: Any) -> None:
             if not isinstance(cache, dict):
                 raise BenchFormatError("analysis.view_cache is not an object")
             _check_fields(cache, _VIEW_CACHE_SCHEMA, "analysis.view_cache")
+    profile = document.get("self_profile")
+    if profile is not None:
+        if not isinstance(profile, dict):
+            raise BenchFormatError("self_profile is not an object")
+        _check_fields(profile, _SELF_PROFILE_SCHEMA, "self_profile")
+        for stage, totals in profile["stages"].items():
+            if not isinstance(totals, dict) or "wall_s" not in totals:
+                raise BenchFormatError(
+                    f"self_profile.stages[{stage!r}] lacks 'wall_s'"
+                )
 
 
 def write_report(document: dict[str, Any], path: str) -> None:

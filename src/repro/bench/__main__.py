@@ -72,6 +72,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="corpus amplification factor for the analysis benchmark",
     )
+    parser.add_argument(
+        "--self-profile",
+        action="store_true",
+        help="also measure tracing overhead (traced vs untraced smoke run) "
+        "and report span stage totals",
+    )
     args = parser.parse_args(argv)
 
     duration = args.duration
@@ -98,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
         service_workers=service_workers,
         analysis=args.analysis,
         analysis_variants=analysis_variants,
+        self_profile=args.self_profile,
     )
     print(format_table(document))
     service = document.get("service_throughput")

@@ -41,11 +41,13 @@ import time
 
 from repro import __version__
 from repro.baselines import LockStatReport
-from repro.dprof import DataQuality, Diagnosis, DProf, DProfConfig
-from repro.errors import FaultInjectionError, ProtocolError, ServeError
+from repro.config import RunConfig
+from repro.dprof.diagnosis import Diagnosis
+from repro.dprof.profiler import DProf
+from repro.dprof.quality import DataQuality
+from repro.errors import FaultInjectionError, ProtocolError, ServeError, TraceError
 from repro.faults import FaultPlan
 from repro.fixes import apply_admission_control, install_local_queue_selection
-from repro.hw.machine import MachineConfig
 from repro.kernel import Kernel
 from repro.workloads import (
     SCENARIO_DEFAULTS,
@@ -75,23 +77,28 @@ def _report_quality(dprof: DProf, plan: FaultPlan | None) -> int:
     return quality.exit_code()
 
 
+def _run_config(args: argparse.Namespace, seed: int) -> RunConfig:
+    """The unified RunConfig implied by a command's shared flags."""
+    return RunConfig(seed=seed, engine=args.engine, analysis=args.analysis)
+
+
 def _profiled_memcached(
     cores: int,
     fixed: bool,
     duration: int,
     interval: int,
     faults: FaultPlan | None = None,
-    engine: str = "reference",
-    analysis: str = "indexed",
+    run: RunConfig | None = None,
 ):
-    kernel = Kernel(MachineConfig(ncores=cores, seed=11, engine=engine))
+    run = run or RunConfig(seed=11)
+    kernel = Kernel(run.machine_config(ncores=cores))
     workload = MemcachedWorkload(kernel)
     workload.setup()
     if fixed:
         install_local_queue_selection(workload.stack.dev)
     dprof = DProf(
         kernel,
-        DProfConfig(ibs_interval=interval, analysis=analysis),
+        run.dprof_config(ibs_interval=interval),
         faults=faults,
     )
     dprof.attach()
@@ -108,8 +115,7 @@ def cmd_memcached(args: argparse.Namespace) -> int:
         args.duration,
         args.interval,
         faults=plan,
-        engine=args.engine,
-        analysis=args.analysis,
+        run=_run_config(args, seed=11),
     )
     label = "fixed (local TX queues)" if args.fixed else "stock (skb_tx_hash)"
     print(f"memcached on {args.cores} cores, {label}")
@@ -123,7 +129,8 @@ def cmd_memcached(args: argparse.Namespace) -> int:
 
 def cmd_apache(args: argparse.Namespace) -> int:
     plan = _fault_plan(args)
-    kernel = Kernel(MachineConfig(ncores=args.cores, seed=11, engine=args.engine))
+    run = _run_config(args, seed=11)
+    kernel = Kernel(run.machine_config(ncores=args.cores))
     workload = ApacheWorkload(
         kernel, config=ApacheConfig(arrival_period=args.period)
     )
@@ -132,7 +139,7 @@ def cmd_apache(args: argparse.Namespace) -> int:
         apply_admission_control(workload.listeners.values(), args.admission)
     dprof = DProf(
         kernel,
-        DProfConfig(ibs_interval=args.interval, analysis=args.analysis),
+        run.dprof_config(ibs_interval=args.interval),
         faults=plan,
     )
     dprof.attach()
@@ -152,14 +159,15 @@ def cmd_apache(args: argparse.Namespace) -> int:
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
     plan = _fault_plan(args)
-    kernel = Kernel(MachineConfig(ncores=args.cores, seed=52, engine=args.engine))
+    run = _run_config(args, seed=52)
+    kernel = Kernel(run.machine_config(ncores=args.cores))
     workload = MemcachedWorkload(kernel)
     workload.setup()
     workload.start()
     kernel.run(until_cycle=150_000)
     dprof = DProf(
         kernel,
-        DProfConfig(ibs_interval=args.interval, analysis=args.analysis),
+        run.dprof_config(ibs_interval=args.interval),
         faults=plan,
     )
     dprof.attach()
@@ -195,19 +203,23 @@ def cmd_list_scenarios(_args: argparse.Namespace) -> int:
 
 def _spec_from_args(args: argparse.Namespace):
     """A validated JobSpec from submit/run-once flags (SystemExit on junk)."""
-    from repro.serve import JobSpec
+    from repro.serve.jobs import JobSpec
 
+    run = RunConfig(
+        seed=args.seed,
+        engine=args.engine,
+        analysis=args.analysis,
+        trace=bool(getattr(args, "trace", False)),
+    )
     try:
         return JobSpec.create(
             scenario=args.scenario,
             cores=args.cores,
-            engine=args.engine,
-            seed=args.seed,
             duration=args.duration,
             interval=args.interval,
             fault_spec=args.inject_faults,
-            analysis=args.analysis,
             priority=getattr(args, "priority", 0),
+            run=run,
         )
     except ServeError as exc:
         raise SystemExit(f"bad job spec: {exc}")
@@ -216,7 +228,7 @@ def _spec_from_args(args: argparse.Namespace):
 def _rpc(args: argparse.Namespace, message: dict) -> dict:
     """One request to the server named by --host/--port; SystemExit on
     connection or protocol trouble so scripts get a clean error."""
-    from repro.serve import request_once
+    from repro.serve.protocol import request_once
 
     try:
         return request_once(args.host, args.port, message, timeout=args.timeout)
@@ -225,7 +237,7 @@ def _rpc(args: argparse.Namespace, message: dict) -> dict:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import ProfilingServer
+    from repro.serve.server import ProfilingServer
 
     server = ProfilingServer(
         args.store,
@@ -234,6 +246,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         drain_grace_s=args.drain_grace,
+        trace=args.trace,
     )
 
     async def main() -> None:
@@ -342,7 +355,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 def cmd_run_once(args: argparse.Namespace) -> int:
     """Execute one job spec inline, through the service's worker path."""
-    from repro.serve import execute_job_to_store
+    from repro.serve.workers import execute_job_to_store
 
     spec = _spec_from_args(args)
     outcome = execute_job_to_store(spec, args.store)
@@ -352,7 +365,55 @@ def cmd_run_once(args: argparse.Namespace) -> int:
         f"throughput {outcome['throughput']}, archive {outcome['digest']}"
     )
     print(f"quality: {outcome['quality']}")
+    if outcome.get("trace_path"):
+        print(f"trace: {outcome['trace_path']}")
     return 0 if outcome["status"] != "failed" else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render a recorded span trace as a stage-time tree."""
+    from pathlib import Path
+
+    from repro.trace import TRACE_SUFFIX, load_trace, render_tree
+
+    target = Path(args.session)
+    if target.is_dir():
+        # A store directory: pick the trace by digest prefix; without a
+        # digest, prefer the server's own trace, else a sole job trace.
+        if args.digest:
+            matches = sorted(target.glob(f"{args.digest}*{TRACE_SUFFIX}"))
+            if not matches:
+                raise SystemExit(
+                    f"no trace matching {args.digest!r} in {target}"
+                )
+            target = matches[0]
+        elif (target / "server.trace.jsonl").exists():
+            target = target / "server.trace.jsonl"
+        else:
+            matches = sorted(target.glob(f"*{TRACE_SUFFIX}"))
+            if len(matches) == 1:
+                target = matches[0]
+            elif matches:
+                names = "\n  ".join(m.name for m in matches)
+                raise SystemExit(
+                    f"multiple traces in {target}; pick one with "
+                    f"--digest:\n  {names}"
+                )
+            else:
+                target = target / "server.trace.jsonl"
+    elif target.suffixes[-2:] == [".session", ".json"]:
+        # A session archive: its trace sits next to it.
+        target = target.with_name(
+            target.name[: -len(".session.json")] + TRACE_SUFFIX
+        )
+    if not target.exists():
+        raise SystemExit(f"no trace file at {target}")
+    try:
+        manifest, spans = load_trace(target)
+    except TraceError as exc:
+        raise SystemExit(f"cannot read trace: {exc}")
+    print(render_tree(spans, manifest, top=args.top))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -365,20 +426,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_engine_flag(sub_parser: argparse.ArgumentParser) -> None:
-        sub_parser.add_argument(
+    def run_flags_parent(engine_default: str) -> argparse.ArgumentParser:
+        """The one definition of the shared --engine/--analysis/
+        --inject-faults trio, attached to subcommands via ``parents=``
+        so flags and help text cannot drift between commands.  Only the
+        engine *default* differs: workload commands favor the readable
+        reference engine, service commands the fast one.
+        """
+        parent = argparse.ArgumentParser(add_help=False)
+        parent.add_argument(
             "--engine",
             choices=("reference", "fast"),
-            default="reference",
+            default=engine_default,
             help=(
                 "access-simulation engine; 'fast' uses repro.hw.fastpath, "
                 "which is bit-identical to 'reference' but quicker "
                 "(equivalence is enforced by tests/test_fastpath_equivalence.py)"
             ),
         )
-
-    def add_analysis_flag(sub_parser: argparse.ArgumentParser) -> None:
-        sub_parser.add_argument(
+        parent.add_argument(
             "--analysis",
             choices=("indexed", "reference"),
             default="indexed",
@@ -389,9 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "enforced by tests/test_analysis_equivalence.py)"
             ),
         )
-
-    def add_fault_flag(sub_parser: argparse.ArgumentParser) -> None:
-        sub_parser.add_argument(
+        parent.add_argument(
             "--inject-faults",
             metavar="SPEC",
             default=None,
@@ -402,37 +466,38 @@ def build_parser() -> argparse.ArgumentParser:
                 "trap_miss, history_truncation)"
             ),
         )
+        return parent
 
-    mc = sub.add_parser("memcached", help="run the Section 6.1 workload")
+    workload_flags = run_flags_parent("reference")
+    service_flags = run_flags_parent("fast")
+
+    mc = sub.add_parser(
+        "memcached", help="run the Section 6.1 workload", parents=[workload_flags]
+    )
     mc.add_argument("--cores", type=int, default=8)
     mc.add_argument("--fixed", action="store_true", help="apply the +57%% fix")
     mc.add_argument("--duration", type=int, default=600_000)
     mc.add_argument("--interval", type=int, default=400)
     mc.add_argument("--top", type=int, default=8)
-    add_engine_flag(mc)
-    add_analysis_flag(mc)
-    add_fault_flag(mc)
     mc.set_defaults(func=cmd_memcached)
 
-    ap = sub.add_parser("apache", help="run the Section 6.2 workload")
+    ap = sub.add_parser(
+        "apache", help="run the Section 6.2 workload", parents=[workload_flags]
+    )
     ap.add_argument("--cores", type=int, default=8)
     ap.add_argument("--period", type=int, default=22_000)
     ap.add_argument("--admission", type=int, default=0, help="backlog cap (0=off)")
     ap.add_argument("--duration", type=int, default=1_000_000)
     ap.add_argument("--interval", type=int, default=400)
     ap.add_argument("--top", type=int, default=8)
-    add_engine_flag(ap)
-    add_analysis_flag(ap)
-    add_fault_flag(ap)
     ap.set_defaults(func=cmd_apache)
 
-    dg = sub.add_parser("diagnose", help="automated diagnosis on memcached")
+    dg = sub.add_parser(
+        "diagnose", help="automated diagnosis on memcached", parents=[workload_flags]
+    )
     dg.add_argument("--cores", type=int, default=8)
     dg.add_argument("--interval", type=int, default=300)
     dg.add_argument("--top", type=int, default=6)
-    add_engine_flag(dg)
-    add_analysis_flag(dg)
-    add_fault_flag(dg)
     dg.set_defaults(func=cmd_diagnose)
 
     ls = sub.add_parser(
@@ -462,10 +527,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--interval", type=int, default=None)
         sub_parser.add_argument("--seed", type=int, default=11)
         sub_parser.add_argument(
-            "--engine", choices=("reference", "fast"), default="fast"
+            "--trace", action="store_true",
+            help="record a span trace next to the session archive",
         )
-        add_analysis_flag(sub_parser)
-        add_fault_flag(sub_parser)
 
     sv = sub.add_parser(
         "serve", help="run the profiling-as-a-service server"
@@ -491,9 +555,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stdio", action="store_true",
         help="also accept JSON-lines requests on stdin/stdout",
     )
+    sv.add_argument(
+        "--trace", action="store_true",
+        help="record server-side spans (written to the store at drain)",
+    )
     sv.set_defaults(func=cmd_serve)
 
-    sm = sub.add_parser("submit", help="submit a job to a running server")
+    sm = sub.add_parser(
+        "submit", help="submit a job to a running server", parents=[service_flags]
+    )
     add_client_flags(sm)
     add_spec_flags(sm)
     sm.add_argument("--priority", type=int, default=0)
@@ -537,12 +607,34 @@ def build_parser() -> argparse.ArgumentParser:
     ro = sub.add_parser(
         "run-once",
         help="execute one job spec inline via the service worker path",
+        parents=[service_flags],
     )
     add_spec_flags(ro)
     ro.add_argument(
         "--store", default="serve-store", help="session archive directory"
     )
     ro.set_defaults(func=cmd_run_once)
+
+    tr = sub.add_parser(
+        "trace",
+        help="render a recorded span trace (stage tree + critical path)",
+    )
+    tr.add_argument(
+        "session",
+        help=(
+            "a .trace.jsonl file, a .session.json archive (reads the "
+            "trace next to it), or a store directory"
+        ),
+    )
+    tr.add_argument(
+        "--digest", default=None,
+        help="archive digest prefix when SESSION is a store directory",
+    )
+    tr.add_argument(
+        "--top", type=int, default=0,
+        help="show only the N slowest children per span (0 = all)",
+    )
+    tr.set_defaults(func=cmd_trace)
     return parser
 
 

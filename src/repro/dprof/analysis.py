@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 
 from repro.dprof.pathtrace import (
     OFFSET_SENTINEL,
@@ -405,11 +406,37 @@ def builder_for(mode: str, symbols: SymbolTable, sampler=None):
     )
 
 
-def _analysis_shard(args) -> tuple[int, str, list[PathTrace]]:
-    """One shard: build a single type's traces (pure function of args)."""
+def _analysis_shard(args) -> tuple[int, str, list[PathTrace], dict]:
+    """One shard: build a single type's traces (pure function of args).
+
+    The fourth element is an ``analysis-shard`` span blob timed inside
+    the (possibly separate) shard process; the parent tracer adopts the
+    blobs in canonical order, re-keying their ids, so the trace is
+    bit-identical at any worker count.
+    """
     shard_index, type_name, histories, symbols, stats, mode = args
+    t0 = time.perf_counter()
+    c0 = time.process_time()
     builder = builder_for(mode, symbols, stats)
-    return shard_index, type_name, builder.build(type_name, histories)
+    traces = builder.build(type_name, histories)
+    blob = {
+        "kind": "span",
+        "id": f"shard-{shard_index}",
+        "parent": None,
+        "name": "analysis-shard",
+        "path": f"analysis-shard#{shard_index}",
+        "start_s": 0.0,
+        "wall_s": time.perf_counter() - t0,
+        "cpu_s": time.process_time() - c0,
+        "counters": {
+            "shard_index": shard_index,
+            "type_name": type_name,
+            "histories": len(histories),
+            "traces": len(traces),
+            "mode": mode,
+        },
+    }
+    return shard_index, type_name, traces, blob
 
 
 def analyze_histories(
@@ -419,6 +446,7 @@ def analyze_histories(
     *,
     mode: str = "indexed",
     workers: int = 0,
+    tracer=None,
 ) -> dict[str, list[PathTrace]]:
     """Path traces for every type, optionally sharded across processes.
 
@@ -432,6 +460,11 @@ def analyze_histories(
     ``sampler`` may be a live collector, an offline sampler, a
     :class:`StatsView`, or None; it is snapshotted into a picklable
     :class:`StatsView` before any process boundary.
+
+    When a :class:`repro.trace.Tracer` is passed, the whole call is
+    wrapped in an ``analysis`` span and each shard contributes an
+    ``analysis-shard`` child span timed inside the shard process and
+    adopted canonically (sorted by shard index) on the way out.
     """
     if mode not in ANALYSIS_MODES:
         raise ProfilingError(
@@ -450,17 +483,23 @@ def analyze_histories(
     ]
     if workers == 0:
         workers = min(os.cpu_count() or 1, len(tasks))
-    results: list[tuple[int, str, list[PathTrace]]] | None = None
-    if workers > 1 and len(tasks) > 1:
-        try:
-            with multiprocessing.Pool(min(workers, len(tasks))) as pool:
-                results = pool.map(_analysis_shard, tasks)
-        except OSError:
-            results = None
-    if results is None:
-        results = [_analysis_shard(task) for task in tasks]
-    results.sort(key=lambda item: (item[0], item[1]))
-    return {type_name: traces for _index, type_name, traces in results}
+    if tracer is None:
+        from repro.trace import NULL_TRACER
+
+        tracer = NULL_TRACER
+    with tracer.span("analysis", mode=mode, shards=len(tasks)):
+        results: list[tuple[int, str, list[PathTrace], dict]] | None = None
+        if workers > 1 and len(tasks) > 1:
+            try:
+                with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+                    results = pool.map(_analysis_shard, tasks)
+            except OSError:
+                results = None
+        if results is None:
+            results = [_analysis_shard(task) for task in tasks]
+        results.sort(key=lambda item: (item[0], item[1]))
+        tracer.adopt([blob for _i, _n, _t, blob in results])
+    return {type_name: traces for _index, type_name, traces, _blob in results}
 
 
 # ----------------------------------------------------------------------

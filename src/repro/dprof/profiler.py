@@ -81,11 +81,24 @@ class DProf:
     def __init__(
         self,
         kernel: Kernel,
-        config: DProfConfig | None = None,
+        config: "DProfConfig | RunConfig | None" = None,
         faults: FaultPlan | None = None,
+        tracer=None,
     ) -> None:
         self.kernel = kernel
+        if config is not None and not isinstance(config, DProfConfig):
+            # A unified RunConfig (repro.config): adapt it to the
+            # profiler's own knobs; machine-side knobs were consumed when
+            # the kernel's Machine was built.
+            config = config.dprof_config()
         self.config = config or DProfConfig()
+        #: Span tracer (repro.trace); NULL_TRACER when tracing is off.
+        if tracer is None:
+            from repro.trace import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self._collection_span = None
         self.machine = kernel.machine
         self.resolver = TypeResolver(kernel.slab)
         self.sampler = AccessSampleCollector(
@@ -163,6 +176,13 @@ class DProf:
         self.kernel.slab.remove_free_listener(self._on_free)
         self._traces_cache.clear()
         self._sim_cache = None
+        if self._collection_span is not None:
+            self.tracer.end(
+                self._collection_span,
+                completed=self.history.jobs_completed,
+                partial=self.history.histories_partial,
+            )
+            self._collection_span = None
 
     def _on_alloc(self, obj: KObject, cpu: int, cycle: int) -> None:
         name = obj.otype.name
@@ -210,6 +230,10 @@ class DProf:
             ]
         jobs = self.history.schedule_sets(type_name, size, sets, pair=pair, chunks=chunks)
         self.history.start()
+        if self.tracer.enabled:
+            if self._collection_span is None:
+                self._collection_span = self.tracer.begin("history-collection")
+            self._collection_span.add(jobs=jobs, types=1)
         return jobs
 
     def _lookup_type_size(self, type_name: str) -> int:
@@ -272,6 +296,7 @@ class DProf:
                         pending,
                         mode=self.config.analysis,
                         workers=self.config.analysis_workers,
+                        tracer=self.tracer,
                     )
                 )
             traces = {name: self.path_traces(name) for name in by_type}

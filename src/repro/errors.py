@@ -54,6 +54,11 @@ class QueueFullError(ServeError):
         self.retry_after_s = retry_after_s
 
 
+class TraceError(ReproError):
+    """A trace file is malformed (bad JSON, unknown record kind,
+    missing span fields) or the trace API was misused."""
+
+
 class BenchFormatError(ReproError):
     """A benchmark report document failed schema validation; the baseline
     file is left untouched rather than committing a partial run."""

@@ -839,6 +839,27 @@ class BatchReplayEngine:
         self.l3_hits, self.l3_misses, self.l3_evictions = l3h, l3m, l3e
         return outcomes
 
+    def run_traced(
+        self,
+        encoded: list[tuple],
+        probe,
+        collect: bool = False,
+        chunk: int = 4096,
+    ) -> list[tuple] | None:
+        """Replay in chunks, ticking a :class:`repro.trace.SimProbe` between
+        them.  All replay state lives on the instance, so chunked calls to
+        :meth:`run` are event-for-event identical to one call; the hot loop
+        itself stays untouched.
+        """
+        outcomes = [] if collect else None
+        for start in range(0, len(encoded), chunk):
+            batch = encoded[start : start + chunk]
+            result = self.run(batch, collect=collect)
+            if collect:
+                outcomes.extend(result)
+            probe.tick_events(len(batch))
+        return outcomes
+
     # ------------------------------------------------------------------
     # Snapshots mirroring the reference hierarchy's comparison surface
     # ------------------------------------------------------------------

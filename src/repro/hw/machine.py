@@ -141,6 +141,9 @@ class Machine:
         self.access_observers: list[AccessObserver] = []
         self.instr_observers: list[InstrObserver] = []
         self.total_instructions = 0
+        #: Optional :class:`repro.trace.SimProbe`; ticked once per
+        #: scheduler step (a quantum of instructions), never per event.
+        self.trace_probe = None
 
     # ------------------------------------------------------------------
     # Thread management
@@ -188,12 +191,15 @@ class Machine:
         scheduler iterations as a runaway backstop.
         """
         steps = 0
+        probe = self.trace_probe
         while True:
             if stop_when is not None and stop_when():
                 return
             if max_steps is not None and steps >= max_steps:
                 return
             steps += 1
+            if probe is not None:
+                probe.tick(self)
             core = self._pick_core(until_cycle)
             if core is None:
                 return

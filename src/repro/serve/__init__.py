@@ -20,26 +20,53 @@ Modules:
 
 Entry points: ``python -m repro.cli serve`` to run one, and the
 ``submit`` / ``status`` / ``fetch`` CLI trio to talk to it.
+
+.. deprecated::
+    Importing names from ``repro.serve`` directly is deprecated; use the
+    blessed facade :mod:`repro.api` (or the defining submodule, e.g.
+    :mod:`repro.serve.server`).  The first shimmed access of each name
+    emits one :class:`DeprecationWarning`; behavior is otherwise
+    unchanged.
 """
 
-from repro.serve.jobs import Job, JobQueue, JobSpec
-from repro.serve.metrics import ServeMetrics
-from repro.serve.protocol import ServeClient, request_once
-from repro.serve.server import ProfilingServer
-from repro.serve.store import SessionStore, ViewCache
-from repro.serve.workers import WorkerPool, execute_job, execute_job_to_store
+import importlib
+import warnings
 
-__all__ = [
-    "Job",
-    "JobQueue",
-    "JobSpec",
-    "ProfilingServer",
-    "ServeClient",
-    "ServeMetrics",
-    "SessionStore",
-    "ViewCache",
-    "WorkerPool",
-    "execute_job",
-    "execute_job_to_store",
-    "request_once",
-]
+#: name -> defining submodule, resolved lazily by :func:`__getattr__`.
+_EXPORTS = {
+    "Job": "repro.serve.jobs",
+    "JobQueue": "repro.serve.jobs",
+    "JobSpec": "repro.serve.jobs",
+    "ProfilingServer": "repro.serve.server",
+    "ServeClient": "repro.serve.protocol",
+    "ServeMetrics": "repro.serve.metrics",
+    "SessionStore": "repro.serve.store",
+    "ViewCache": "repro.serve.store",
+    "WorkerPool": "repro.serve.workers",
+    "execute_job": "repro.serve.workers",
+    "execute_job_to_store": "repro.serve.workers",
+    "request_once": "repro.serve.protocol",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name!r} from 'repro.serve' is deprecated; "
+        f"use 'repro.api' (or {module_name!r}) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    value = getattr(importlib.import_module(module_name), name)
+    # Cache so the warning fires once per name (a from-import probes the
+    # attribute twice: importlib's hasattr check, then the real getattr).
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

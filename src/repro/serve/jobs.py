@@ -69,6 +69,9 @@ class JobSpec:
     #: Higher runs sooner; does not affect the session result, so it is
     #: excluded from the content digest.
     priority: int = 0
+    #: Record a span trace for this job (written next to the archive).
+    #: Observability only -- excluded from the content digest.
+    trace: bool = False
 
     @classmethod
     def create(cls, **kwargs) -> "JobSpec":
@@ -77,7 +80,15 @@ class JobSpec:
         Raises :class:`ServeError` naming the offending field; this is
         the one place submit-side validation happens, shared by the
         server, the CLI's one-shot ``run-once``, and the benchmark.
+
+        ``run=RunConfig(...)`` (see :mod:`repro.config`) expands to the
+        shared ``seed``/``engine``/``analysis``/``trace`` knobs; explicit
+        kwargs win over the RunConfig's values.
         """
+        run = kwargs.pop("run", None)
+        if run is not None:
+            for name, value in run.job_kwargs().items():
+                kwargs.setdefault(name, value)
         kwargs = {k: v for k, v in kwargs.items() if v is not None}
         scenario = kwargs.get("scenario")
         if scenario not in SCENARIOS:
@@ -126,6 +137,7 @@ class JobSpec:
                 "fault_spec",
                 "analysis",
                 "priority",
+                "trace",
             )
             if message.get(name) is not None
         }
@@ -136,9 +148,11 @@ class JobSpec:
         return asdict(self)
 
     def canonical(self) -> dict:
-        """The result-determining fields only (priority excluded)."""
+        """The result-determining fields only (priority and the trace
+        flag excluded -- neither changes the session archive)."""
         blob = asdict(self)
         blob.pop("priority")
+        blob.pop("trace")
         return blob
 
     def digest(self) -> str:

@@ -33,6 +33,7 @@ import queue as queue_mod
 import signal
 import sys
 import threading
+from dataclasses import replace
 
 from repro import __version__
 from repro.errors import ProtocolError, QueueFullError, ServeError
@@ -47,6 +48,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.store import SessionStore
 from repro.serve.workers import WorkerPool
+from repro.trace import NULL_TRACER, Tracer
 from repro.workloads import SCENARIOS
 
 #: How often the monitor task checks worker liveness (seconds).
@@ -64,9 +66,17 @@ class ProfilingServer:
         host: str = DEFAULT_HOST,
         port: int = 0,
         drain_grace_s: float = 30.0,
+        trace: bool = False,
     ) -> None:
         self.store = SessionStore(store_root)
         self.metrics = ServeMetrics()
+        #: Server-side span tracer.  Seed 0: the server's own spans are
+        #: identified by submission order, not by any job's seed.
+        self.tracer = Tracer(seed=0) if trace else NULL_TRACER
+        #: job_id -> open queue-wait span (accepted, not yet dispatched).
+        self._wait_spans: dict[str, object] = {}
+        #: job_id -> open worker-execute span (dispatched, not finished).
+        self._exec_spans: dict[str, object] = {}
         self.queue = JobQueue(queue_size)
         self.pool = WorkerPool(workers, store_root)
         self.jobs: dict[str, Job] = {}
@@ -136,12 +146,30 @@ class ProfilingServer:
         for job_id, worker_id in list(self.running.items()):
             if worker_id is not None:
                 self.pool.terminate_worker(worker_id)
+            if self.tracer.enabled:
+                execute = self._exec_spans.pop(job_id, None)
+                if execute is not None:
+                    self.tracer.end(execute, terminal=False, result="drain-timeout")
             requeued.append(self.jobs[job_id])
             del self.running[job_id]
         for job in requeued:
             job.state = "requeued"
             self.metrics.jobs_requeued += 1
+            if self.tracer.enabled:
+                wait = self._wait_spans.pop(job.job_id, None)
+                if wait is not None:
+                    self.tracer.end(wait, outcome="requeued")
+                handle = self.tracer.begin("requeue", job_id=job.job_id)
+                self.tracer.end(handle)
         self.store.write_requeue([job.spec.to_wire() for job in requeued])
+        if self.tracer.enabled:
+            depth, running = len(self.queue), len(self.running)
+            self.tracer.write_jsonl(
+                self.store.root / "server.trace.jsonl",
+                self.tracer.manifest(
+                    counters=self.metrics.counters(depth, running)
+                ),
+            )
         if self._monitor_task is not None:
             self._monitor_task.cancel()
         self.pool.stop(grace_s=2.0)
@@ -167,6 +195,13 @@ class ProfilingServer:
             job.state = "running"
             job.attempts += 1
             self.running[job.job_id] = None
+            if self.tracer.enabled:
+                wait = self._wait_spans.pop(job.job_id, None)
+                if wait is not None:
+                    self.tracer.end(wait, outcome="dispatched")
+                self._exec_spans[job.job_id] = self.tracer.begin(
+                    "worker-execute", job_id=job.job_id, scenario=job.spec.scenario
+                )
             self.pool.submit(job.job_id, job.spec)
 
     def _pump_results(self) -> None:
@@ -194,6 +229,14 @@ class ProfilingServer:
         if job is None or job_id not in self.running:
             return  # stale event from a terminated/requeued job
         del self.running[job_id]
+        if self.tracer.enabled:
+            execute = self._exec_spans.pop(job_id, None)
+            if execute is not None:
+                if kind == "done" and detail.get("spans"):
+                    # Worker-side run/scenario/sim spans nest under the
+                    # dispatch that produced them.
+                    self.tracer.adopt(detail["spans"], parent=execute)
+                self.tracer.end(execute, terminal=True, result=kind)
         if kind == "done":
             job.state = "failed" if detail["status"] == "failed" else "done"
             job.status = detail["status"]
@@ -230,6 +273,15 @@ class ProfilingServer:
                         job.state = "queued"
                         job.worker = None
                         self.metrics.job_retries += 1
+                        if self.tracer.enabled:
+                            execute = self._exec_spans.pop(job_id, None)
+                            if execute is not None:
+                                self.tracer.end(
+                                    execute, terminal=False, result="worker-crash"
+                                )
+                            self._wait_spans[job_id] = self.tracer.begin(
+                                "queue-wait", job_id=job_id, retry=True
+                            )
                         self.queue.force_push(job)
             self._dispatch()
 
@@ -309,6 +361,10 @@ class ProfilingServer:
         if self.draining:
             return error_response("server is draining", code="draining")
         spec = JobSpec.from_wire(message)
+        if self.tracer.enabled and not spec.trace:
+            # A tracing server traces its jobs too, so worker subtrees
+            # can be adopted; digest-excluded, so archives are unchanged.
+            spec = replace(spec, trace=True)
         job_id = f"job-{self._seq:05d}-{spec.digest()[:8]}"
         self._seq += 1
         job = Job(job_id=job_id, spec=spec)
@@ -326,6 +382,10 @@ class ProfilingServer:
             )
         self.jobs[job_id] = job
         self.metrics.jobs_submitted += 1
+        if self.tracer.enabled:
+            self._wait_spans[job_id] = self.tracer.begin(
+                "queue-wait", job_id=job_id, scenario=spec.scenario
+            )
         self._dispatch()
         return {
             "ok": True,
@@ -372,6 +432,7 @@ class ProfilingServer:
             view,
             type_name=message.get("type"),
             top=int(message.get("top", 8)),
+            tracer=self.tracer,
         )
         response = {"ok": True, "digest": digest, "view": view}
         if view == "archive":

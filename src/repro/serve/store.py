@@ -238,28 +238,38 @@ class SessionStore:
         type_name: str | None = None,
         top: int = 8,
         use_cache: bool = True,
+        tracer=None,
     ) -> str:
         """Render one stored session as a named DProf view.
 
         Renders are memoized through :attr:`views` (content-addressed,
         so never stale); ``use_cache=False`` forces recomputation.  The
         ``archive`` view is the raw file itself and bypasses the cache.
+        A :class:`repro.trace.Tracer` records the render as a
+        ``view-render`` span carrying the cache hit/miss outcome.
         """
         if view not in VIEW_NAMES:
             raise ServeError(
                 f"unknown view {view!r} (known: {', '.join(VIEW_NAMES)})"
             )
+        if tracer is None:
+            from repro.trace import NULL_TRACER
+
+            tracer = NULL_TRACER
         if view == "archive":
             return self.read_text(digest)
         if not self.has(digest):
             raise ServeError(f"no archive {digest[:12]}... in store {self.root}")
-        key = self.views.key(digest, view, type_name, top)
-        if use_cache:
-            cached = self.views.get(key)
-            if cached is not None:
-                return cached
-        text = self._render_view_uncached(digest, view, type_name, top)
-        self.views.put(key, text)
+        with tracer.span("view-render", view=view):
+            key = self.views.key(digest, view, type_name, top)
+            if use_cache:
+                cached = self.views.get(key)
+                if cached is not None:
+                    tracer.add(cache_hits=1)
+                    return cached
+            tracer.add(cache_misses=1)
+            text = self._render_view_uncached(digest, view, type_name, top)
+            self.views.put(key, text)
         return text
 
     def _render_view_uncached(

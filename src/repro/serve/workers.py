@@ -25,17 +25,24 @@ import multiprocessing
 import signal
 import time
 
-from repro.dprof import DProf, DProfConfig
+from repro.dprof.profiler import DProf, DProfConfig
 from repro.dprof.session_io import export_session
 from repro.serve.jobs import JobSpec, status_from_exit_code
 from repro.serve.store import SessionStore
+from repro.trace import (
+    TRACE_SUFFIX,
+    NULL_TRACER,
+    SimProbe,
+    Tracer,
+    config_fingerprint,
+)
 from repro.workloads import SCENARIOS, build_kernel
 
 #: Poison pill telling a worker to exit its loop.
 _STOP = None
 
 
-def execute_job(spec: JobSpec) -> tuple[str, str, dict]:
+def execute_job(spec: JobSpec, tracer=None) -> tuple[str, str, dict]:
     """Run one profiling session; returns (status, archive_text, info).
 
     Deterministic: equal specs yield byte-identical ``archive_text``
@@ -43,21 +50,43 @@ def execute_job(spec: JobSpec) -> tuple[str, str, dict]:
     and order-stable).  ``status`` maps the session's
     :class:`~repro.dprof.quality.DataQuality` to ok/degraded/failed the
     same way the one-shot CLI maps it to exit codes 0/3/4.
+
+    ``spec.trace`` (or an explicit *tracer*) records run -> scenario ->
+    machine-sim spans; the simulator is observed through a cheap sampled
+    :class:`~repro.trace.SimProbe`, never per-event spans, so tracing
+    does not perturb the archive bytes.
     """
-    kernel = build_kernel(spec.cores, seed=spec.seed, engine=spec.engine)
-    dprof = DProf(
-        kernel,
-        DProfConfig(ibs_interval=spec.interval, analysis=spec.analysis),
-        faults=spec.fault_plan(),
-    )
-    dprof.attach()
-    try:
-        result = SCENARIOS[spec.scenario](kernel, spec.duration)
-    finally:
-        dprof.detach()
-    quality = dprof.data_quality()
-    archive_text = json.dumps(export_session(dprof))
-    code = quality.exit_code()
+    if tracer is None:
+        tracer = Tracer(seed=spec.seed) if spec.trace else NULL_TRACER
+    with tracer.span("run", scenario=spec.scenario, engine=spec.engine):
+        kernel = build_kernel(spec.cores, seed=spec.seed, engine=spec.engine)
+        dprof = DProf(
+            kernel,
+            DProfConfig(ibs_interval=spec.interval, analysis=spec.analysis),
+            faults=spec.fault_plan(),
+            tracer=tracer,
+        )
+        dprof.attach()
+        try:
+            with tracer.span("scenario", scenario=spec.scenario):
+                probe = SimProbe() if tracer.enabled else None
+                kernel.machine.trace_probe = probe
+                try:
+                    with tracer.span("machine-sim"):
+                        result = SCENARIOS[spec.scenario](kernel, spec.duration)
+                        if probe is not None:
+                            tracer.add(**probe.counters())
+                finally:
+                    kernel.machine.trace_probe = None
+        finally:
+            dprof.detach()
+        quality = dprof.data_quality()
+        archive_text = json.dumps(export_session(dprof))
+        code = quality.exit_code()
+        tracer.add(
+            instructions=kernel.machine.total_instructions,
+            archive_bytes=len(archive_text),
+        )
     info = {
         "throughput": round(result.throughput, 3),
         "quality": quality.coverage_line(),
@@ -68,16 +97,41 @@ def execute_job(spec: JobSpec) -> tuple[str, str, dict]:
 
 def execute_job_to_store(spec: JobSpec, store_root) -> dict:
     """Execute *spec* and land its archive in the store; returns the
-    outcome blob the service attaches to the job record."""
+    outcome blob the service attaches to the job record.
+
+    With ``spec.trace`` set, the span trace is written next to the
+    archive as ``<digest>.trace.jsonl`` (manifest first line) and the
+    raw span blobs ride along in the outcome so the server can adopt
+    them into its own trace.
+    """
     t0 = time.perf_counter()
-    status, archive_text, info = execute_job(spec)
-    digest = SessionStore(store_root).put_text(archive_text)
-    return {
+    tracer = Tracer(seed=spec.seed) if spec.trace else NULL_TRACER
+    status, archive_text, info = execute_job(spec, tracer=tracer)
+    store = SessionStore(store_root)
+    put = tracer.begin("store-put")
+    digest = store.put_text(archive_text)
+    if put is not None:
+        tracer.end(put, bytes=len(archive_text))
+    outcome = {
         "status": status,
         "digest": digest,
         "wall_s": time.perf_counter() - t0,
         **info,
     }
+    if tracer.enabled:
+        manifest = tracer.manifest(
+            fingerprint=config_fingerprint(spec.canonical()),
+            engine=spec.engine,
+            analysis=spec.analysis,
+            quality=info.get("quality", ""),
+            scenario=spec.scenario,
+            digest=digest,
+        )
+        trace_path = store.path_for(digest).with_name(digest + TRACE_SUFFIX)
+        tracer.write_jsonl(trace_path, manifest)
+        outcome["trace_path"] = str(trace_path)
+        outcome["spans"] = tracer.to_blobs()
+    return outcome
 
 
 def worker_main(worker_id: int, task_q, result_q, store_root: str) -> None:
