@@ -18,6 +18,8 @@ Groups:
 - **service**: :class:`JobSpec`, :class:`ProfilingServer`,
   :class:`ServeClient`, :func:`request_once`, :func:`execute_job`,
   :func:`execute_job_to_store`, :class:`SessionStore`;
+- **federation**: :class:`ClusterConfig`, :class:`ClusterServer`,
+  :class:`RetryPolicy`, :class:`RetryExhaustedError`;
 - **configuration**: :class:`RunConfig`;
 - **tracing**: :class:`Tracer`, ``NULL_TRACER``, :class:`SimProbe`,
   :func:`load_trace`, :func:`render_tree`, :func:`stage_totals`,
@@ -38,8 +40,10 @@ from repro.dprof.profiler import DProf, DProfConfig
 from repro.dprof.quality import DataQuality
 from repro.dprof.session_io import OfflineSession, export_session, load_session
 from repro.hw.machine import MachineConfig
+from repro.serve.cluster import ClusterConfig, ClusterServer
 from repro.serve.jobs import JobSpec
 from repro.serve.protocol import ServeClient, request_once
+from repro.serve.retry import RetryExhaustedError, RetryPolicy
 from repro.serve.server import ProfilingServer
 from repro.serve.store import SessionStore
 from repro.serve.workers import execute_job, execute_job_to_store
@@ -57,6 +61,8 @@ from repro.workloads import SCENARIOS, build_kernel
 
 __all__ = (
     "ANALYSIS_MODES",
+    "ClusterConfig",
+    "ClusterServer",
     "DProf",
     "DProfConfig",
     "DataQuality",
@@ -67,6 +73,8 @@ __all__ = (
     "NULL_TRACER",
     "OfflineSession",
     "ProfilingServer",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "RunConfig",
     "SCENARIOS",
     "ServeClient",

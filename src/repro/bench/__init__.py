@@ -562,6 +562,9 @@ def run_benchmarks(
     analysis: bool = False,
     analysis_variants: int = 32,
     self_profile: bool = False,
+    load_sweep: bool = False,
+    load_rates: tuple[float, ...] | None = None,
+    load_jobs: int = 24,
 ) -> dict[str, Any]:
     """Run every scenario and assemble the BENCH_dprof.json document.
 
@@ -571,6 +574,8 @@ def run_benchmarks(
     clustering/merge timings plus the view-cache cold/warm comparison).
     ``self_profile`` adds the tracing-overhead section (traced vs
     untraced smoke run plus the traced run's span stage totals).
+    ``load_sweep`` adds the open-loop Poisson load sweep (latency
+    percentiles vs offered rate, saturation knee) against a live server.
     """
     reports = [
         bench_scenario(
@@ -620,6 +625,15 @@ def run_benchmarks(
             duration_cycles=min(duration_cycles, 100_000),
             repeats=max(repeats, 5),
         )
+    if load_sweep:
+        from repro.bench.load import DEFAULT_RATES, bench_load_sweep
+
+        document["load_sweep"] = bench_load_sweep(
+            rates=load_rates or DEFAULT_RATES,
+            jobs_per_rate=load_jobs,
+            workers=service_workers,
+            seed=seed,
+        )
     return document
 
 
@@ -657,6 +671,27 @@ def format_table(document: dict[str, Any]) -> str:
                 f"warm {cache['warm_s']:.6f}s ({cache['speedup']:.0f}x), "
                 f"hit rate {cache['hit_rate']:.2f}"
             )
+    sweep = document.get("load_sweep")
+    if sweep:
+        lines.append("")
+        lines.append(
+            f"{'load sweep':<12} {'offered/s':>9} {'accepted':>8} "
+            f"{'rejected':>8} {'achieved/s':>10} {'p50 (s)':>8} "
+            f"{'p95 (s)':>8} {'p99 (s)':>8}"
+        )
+        for step in sweep["rates"]:
+            lines.append(
+                f"{sweep['scenario']:<12} {step['offered_rate_per_s']:>9.1f} "
+                f"{step['accepted']:>8} {step['rejected']:>8} "
+                f"{step['achieved_rate_per_s']:>10.2f} {step['p50_s']:>8.3f} "
+                f"{step['p95_s']:>8.3f} {step['p99_s']:>8.3f}"
+            )
+        knee = sweep.get("knee")
+        lines.append(
+            f"knee: {knee['offered_rate_per_s']}/s ({knee['reason']})"
+            if knee
+            else "knee: not reached in swept rates"
+        )
     profile = document.get("self_profile")
     if profile:
         lines.append("")
@@ -751,6 +786,36 @@ _VIEW_CACHE_SCHEMA = {
     "misses": int,
     "hit_rate": _NUMBER,
 }
+_LOAD_SWEEP_SCHEMA = {
+    "scenario": str,
+    "duration_cycles": int,
+    "workers": int,
+    "jobs_per_rate": int,
+    "arrivals": str,
+    "rates": list,
+    "knee": (dict, type(None)),
+}
+_LOAD_STEP_SCHEMA = {
+    "offered_rate_per_s": _NUMBER,
+    "realized_rate_per_s": _NUMBER,
+    "jobs": int,
+    "accepted": int,
+    "rejected": int,
+    "completed": int,
+    "achieved_rate_per_s": _NUMBER,
+    "p50_s": _NUMBER,
+    "p95_s": _NUMBER,
+    "p99_s": _NUMBER,
+}
+#: One entry per write_report call: which sections that run refreshed.
+#: The list is append-only, so BENCH_dprof.json carries its own
+#: per-commit history instead of losing it to each overwrite.
+_TRAJECTORY_ENTRY_SCHEMA = {
+    "recorded_at": str,
+    "python": str,
+    "commit": (str, type(None)),
+    "sections": list,
+}
 
 
 def _check_fields(blob: dict, schema: dict, where: str) -> None:
@@ -816,10 +881,101 @@ def validate_report(document: Any) -> None:
                 raise BenchFormatError(
                     f"self_profile.stages[{stage!r}] lacks 'wall_s'"
                 )
+    sweep = document.get("load_sweep")
+    if sweep is not None:
+        if not isinstance(sweep, dict):
+            raise BenchFormatError("load_sweep is not an object")
+        _check_fields(sweep, _LOAD_SWEEP_SCHEMA, "load_sweep")
+        if not sweep["rates"]:
+            raise BenchFormatError("load_sweep has no rate steps")
+        for index, step in enumerate(sweep["rates"]):
+            where = f"load_sweep.rates[{index}]"
+            if not isinstance(step, dict):
+                raise BenchFormatError(f"{where}: step is not an object")
+            _check_fields(step, _LOAD_STEP_SCHEMA, where)
+        knee = sweep["knee"]
+        if knee is not None and "offered_rate_per_s" not in knee:
+            raise BenchFormatError("load_sweep.knee lacks 'offered_rate_per_s'")
+    trajectory = document.get("trajectory")
+    if trajectory is not None:
+        if not isinstance(trajectory, list):
+            raise BenchFormatError("trajectory is not a list")
+        for index, entry in enumerate(trajectory):
+            where = f"trajectory[{index}]"
+            if not isinstance(entry, dict):
+                raise BenchFormatError(f"{where}: entry is not an object")
+            _check_fields(entry, _TRAJECTORY_ENTRY_SCHEMA, where)
+
+
+#: Bookkeeping keys that never count as benchmark "sections".
+_NON_SECTION_KEYS = ("benchmark", "python", "machine", "trajectory")
+
+
+def _git_commit() -> str | None:
+    """The repo's short HEAD sha, or None outside a checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def merge_report(document: dict[str, Any], previous: dict[str, Any]) -> dict[str, Any]:
+    """Overlay *document* on an earlier report, preserving history.
+
+    Sections the new run produced win; sections only the old file has
+    (say, an ``analysis`` block from a fuller past run) are carried
+    forward, so a targeted re-run -- engine only, or load-sweep only --
+    never erases the rest of the baseline.  The ``trajectory`` list
+    gains one entry naming exactly which sections this run refreshed.
+    """
+    merged = dict(document)
+    for key, value in previous.items():
+        if key not in merged and key != "trajectory":
+            merged[key] = value
+    sections = sorted(k for k in document if k not in _NON_SECTION_KEYS)
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": document.get("python", sys.version.split()[0]),
+        "commit": _git_commit(),
+        "sections": sections,
+    }
+    merged["trajectory"] = list(previous.get("trajectory", [])) + [entry]
+    return merged
 
 
 def write_report(document: dict[str, Any], path: str) -> None:
-    """Validate and write a benchmark document (refuses partial runs)."""
+    """Validate and write a benchmark document (refuses partial runs).
+
+    Append-aware: when *path* already holds a valid report, the new
+    document is merged over it (old-only sections survive) and a
+    trajectory entry records the run; a corrupt existing file raises
+    rather than being silently clobbered.
+    """
+    validate_report(document)
+    import os
+
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                previous = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchFormatError(
+                f"existing report {path} is unreadable ({exc}); refusing to "
+                "overwrite -- delete it to start fresh"
+            ) from exc
+        if isinstance(previous, dict):
+            document = merge_report(document, previous)
+    else:
+        document = merge_report(document, {})
     validate_report(document)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(document, fh, indent=2, sort_keys=False)

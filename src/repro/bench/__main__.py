@@ -78,19 +78,48 @@ def main(argv: list[str] | None = None) -> int:
         help="also measure tracing overhead (traced vs untraced smoke run) "
         "and report span stage totals",
     )
+    parser.add_argument(
+        "--load-sweep",
+        action="store_true",
+        help="also run the open-loop Poisson load sweep against a live "
+        "server (latency percentiles vs offered rate, saturation knee)",
+    )
+    parser.add_argument(
+        "--load-rates",
+        metavar="R1,R2,...",
+        default=None,
+        help="offered rates (jobs/s) for --load-sweep, ascending CSV",
+    )
+    parser.add_argument(
+        "--load-jobs",
+        type=int,
+        default=24,
+        metavar="N",
+        help="jobs offered per swept rate",
+    )
     args = parser.parse_args(argv)
+
+    load_rates = None
+    if args.load_rates:
+        try:
+            load_rates = tuple(float(r) for r in args.load_rates.split(","))
+        except ValueError:
+            parser.error(f"--load-rates: not a CSV of numbers: {args.load_rates!r}")
 
     duration = args.duration
     repeats = args.repeats
     service_jobs = args.service_jobs
     service_workers = args.service_workers
     analysis_variants = args.analysis_variants
+    load_jobs = args.load_jobs
     if args.smoke:
         duration = duration or SMOKE_DURATION
         repeats = 1
         service_jobs = min(service_jobs, 4)
         service_workers = min(service_workers, 2)
         analysis_variants = min(analysis_variants, 3)
+        load_jobs = min(load_jobs, 8)
+        load_rates = load_rates or (4.0, 16.0)
     duration = duration or DEFAULT_DURATION
     scenarios = tuple(args.scenario) if args.scenario else SCENARIO_ORDER
 
@@ -105,6 +134,9 @@ def main(argv: list[str] | None = None) -> int:
         analysis=args.analysis,
         analysis_variants=analysis_variants,
         self_profile=args.self_profile,
+        load_sweep=args.load_sweep,
+        load_rates=load_rates,
+        load_jobs=load_jobs,
     )
     print(format_table(document))
     service = document.get("service_throughput")

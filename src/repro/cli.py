@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli list-scenarios
 
     python -m repro.cli serve     [--workers N] [--port P] [--store DIR]
+    python -m repro.cli cluster   [--node-id NAME] [--store DIR] [...]
     python -m repro.cli submit    --scenario NAME [--wait] [...]
     python -m repro.cli status    [JOB_ID]
     python -m repro.cli fetch     JOB_ID [--view NAME] [--type TYPE]
@@ -236,6 +237,86 @@ def _rpc(args: argparse.Namespace, message: dict) -> dict:
         raise SystemExit(f"cannot reach server at {args.host}:{args.port}: {exc}")
 
 
+def _rpc_resilient(
+    args: argparse.Namespace,
+    message: dict,
+    *,
+    sleep=time.sleep,
+    clock=time.monotonic,
+    rng=None,
+) -> dict:
+    """:func:`_rpc` plus client-side resilience (``--retry N``).
+
+    Connection failures and ``queue_full`` backpressure rejects are
+    retried with capped exponential backoff and full jitter; a server
+    ``retry_after_s`` hint overrides the exponential term (the server
+    knows its queue better than we do).  ``--retry 0`` keeps the old
+    fail-fast behavior.  The overall budget is ``--timeout`` per
+    attempt, bounded by one shared monotonic deadline.
+    """
+    from repro.serve.protocol import request_once
+    from repro.serve.retry import RetryPolicy
+
+    retries = max(0, getattr(args, "retry", 0) or 0)
+    if retries == 0:
+        return _rpc(args, message)
+    kwargs = {"rng": rng} if rng is not None else {}
+    policy = RetryPolicy(
+        attempts=retries + 1,
+        timeout_s=args.timeout * (retries + 1),
+        **kwargs,
+    )
+    deadline = clock() + policy.timeout_s
+    attempt = 0
+    last = "no attempt made"
+    for attempt in range(policy.attempts):
+        hint = None
+        try:
+            response = request_once(
+                args.host, args.port, message, timeout=args.timeout
+            )
+        except (ConnectionError, OSError, ProtocolError) as exc:
+            last = f"cannot reach server at {args.host}:{args.port}: {exc}"
+        else:
+            if response.get("ok") or response.get("code") != "queue_full":
+                # Success, or a reject retrying cannot fix (bad spec,
+                # draining): hand it straight back to the caller.
+                return response
+            last = response.get("error", "queue full")
+            hint = response.get("retry_after_s")
+        if attempt + 1 >= policy.attempts:
+            break
+        delay = policy.backoff_s(attempt, hint_s=hint)
+        if clock() + delay > deadline:
+            break
+        sleep(delay)
+    raise SystemExit(f"giving up after {attempt + 1} attempt(s): {last}")
+
+
+def _serve_forever(server, args: argparse.Namespace, banner: str) -> int:
+    """Boot a server, announce it, and block until it drains."""
+
+    async def main() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        print(
+            f"{banner}: listening on "
+            f"{server.host}:{server.port}, {args.workers} workers, "
+            f"store {args.store}",
+            flush=True,
+        )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as fh:
+                fh.write(f"{server.port}\n")
+        if args.stdio:
+            asyncio.ensure_future(server.serve_stdio())
+        await server.finished.wait()
+        print(f"{banner}: drained and stopped", flush=True)
+
+    asyncio.run(main())
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import ProfilingServer
 
@@ -248,31 +329,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_grace_s=args.drain_grace,
         trace=args.trace,
     )
+    return _serve_forever(server, args, f"repro.serve v{__version__}")
 
-    async def main() -> None:
-        await server.start()
-        server.install_signal_handlers()
-        print(
-            f"repro.serve v{__version__}: listening on "
-            f"{server.host}:{server.port}, {args.workers} workers, "
-            f"store {args.store}",
-            flush=True,
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run one federated node; peers share the same --store."""
+    import os
+
+    from repro.serve.cluster import ClusterConfig, ClusterServer
+
+    node_id = args.node_id or f"node-{os.getpid()}"
+    try:
+        config = ClusterConfig(
+            node_id=node_id,
+            heartbeat_interval_s=args.heartbeat_interval,
+            suspect_after_s=args.suspect_after,
+            dead_after_s=args.dead_after,
+            lease_timeout_s=args.lease_timeout,
         )
-        if args.port_file:
-            with open(args.port_file, "w", encoding="utf-8") as fh:
-                fh.write(f"{server.port}\n")
-        if args.stdio:
-            asyncio.ensure_future(server.serve_stdio())
-        await server.finished.wait()
-        print("repro.serve: drained and stopped", flush=True)
-
-    asyncio.run(main())
-    return 0
+    except ServeError as exc:
+        raise SystemExit(f"bad cluster config: {exc}")
+    server = ClusterServer(
+        args.store,
+        config,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        host=args.host,
+        port=args.port,
+        drain_grace_s=args.drain_grace,
+        trace=args.trace,
+    )
+    return _serve_forever(
+        server, args, f"repro.serve.cluster v{__version__} [{node_id}]"
+    )
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    response = _rpc(args, {"op": "submit", **spec.to_wire()})
+    response = _rpc_resilient(args, {"op": "submit", **spec.to_wire()})
     if not response.get("ok"):
         retry = response.get("retry_after_s")
         suffix = f" (retry after {retry}s)" if retry is not None else ""
@@ -331,7 +425,7 @@ def cmd_fetch(args: argparse.Namespace) -> int:
     }
     if args.type:
         message["type"] = args.type
-    response = _rpc(args, message)
+    response = _rpc_resilient(args, message)
     if not response.get("ok"):
         print(response.get("error"), file=sys.stderr)
         return 1
@@ -511,6 +605,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument(
             "--timeout", type=float, default=10.0, help="socket timeout (s)"
         )
+        sub_parser.add_argument(
+            "--retry", type=int, default=0, metavar="N",
+            help=(
+                "retry connection failures and queue-full rejects up to N "
+                "times with exponential backoff + jitter (honors the "
+                "server's retry_after_s hint; 0 = fail fast)"
+            ),
+        )
 
     def add_spec_flags(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
@@ -531,35 +633,65 @@ def build_parser() -> argparse.ArgumentParser:
             help="record a span trace next to the session archive",
         )
 
+    def add_serve_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--host", default="127.0.0.1")
+        sub_parser.add_argument(
+            "--port", type=int, default=0, help="TCP port (0 = pick a free one)"
+        )
+        sub_parser.add_argument("--workers", type=int, default=2)
+        sub_parser.add_argument("--queue-size", type=int, default=32)
+        sub_parser.add_argument(
+            "--store", default="serve-store", help="session archive directory"
+        )
+        sub_parser.add_argument(
+            "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+            help="how long SIGTERM waits for in-flight jobs before requeueing",
+        )
+        sub_parser.add_argument(
+            "--port-file", default=None, metavar="FILE",
+            help="write the bound port here once listening",
+        )
+        sub_parser.add_argument(
+            "--stdio", action="store_true",
+            help="also accept JSON-lines requests on stdin/stdout",
+        )
+        sub_parser.add_argument(
+            "--trace", action="store_true",
+            help="record server-side spans (written to the store at drain)",
+        )
+
     sv = sub.add_parser(
         "serve", help="run the profiling-as-a-service server"
     )
-    sv.add_argument("--host", default="127.0.0.1")
-    sv.add_argument(
-        "--port", type=int, default=0, help="TCP port (0 = pick a free one)"
-    )
-    sv.add_argument("--workers", type=int, default=2)
-    sv.add_argument("--queue-size", type=int, default=32)
-    sv.add_argument(
-        "--store", default="serve-store", help="session archive directory"
-    )
-    sv.add_argument(
-        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
-        help="how long SIGTERM waits for in-flight jobs before requeueing",
-    )
-    sv.add_argument(
-        "--port-file", default=None, metavar="FILE",
-        help="write the bound port here once listening",
-    )
-    sv.add_argument(
-        "--stdio", action="store_true",
-        help="also accept JSON-lines requests on stdin/stdout",
-    )
-    sv.add_argument(
-        "--trace", action="store_true",
-        help="record server-side spans (written to the store at drain)",
-    )
+    add_serve_flags(sv)
     sv.set_defaults(func=cmd_serve)
+
+    cl = sub.add_parser(
+        "cluster",
+        help="run one federated cluster node (peers share one --store)",
+    )
+    add_serve_flags(cl)
+    cl.add_argument(
+        "--node-id", default=None,
+        help="unique node name (default: node-<pid>)",
+    )
+    cl.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="SECONDS",
+        help="heartbeat + lease renewal cadence",
+    )
+    cl.add_argument(
+        "--suspect-after", type=float, default=2.0, metavar="SECONDS",
+        help="silence before a peer is suspected",
+    )
+    cl.add_argument(
+        "--dead-after", type=float, default=5.0, metavar="SECONDS",
+        help="silence before a peer is declared dead (leaves the ring)",
+    )
+    cl.add_argument(
+        "--lease-timeout", type=float, default=8.0, metavar="SECONDS",
+        help="unrenewed-lease age before a dead peer's jobs are reclaimed",
+    )
+    cl.set_defaults(func=cmd_cluster)
 
     sm = sub.add_parser(
         "submit", help="submit a job to a running server", parents=[service_flags]

@@ -15,13 +15,19 @@ assumed away.
   :meth:`repro.hw.machine.Machine.install_faults`;
 - :mod:`repro.faults.corrupt` -- deterministic torn-write and bit-flip
   corruption of session archives, for exercising
-  :mod:`repro.dprof.session_io` validation and recovery.
+  :mod:`repro.dprof.session_io` validation and recovery;
+- :mod:`repro.faults.chaos` -- seed-deterministic process-level chaos
+  (SIGKILL a cluster node, stall its heartbeats) for the federation
+  tests and the CI chaos smoke.
 """
 
+from repro.faults.chaos import ChaosAction, ChaosPlan
 from repro.faults.corrupt import corrupt_section, flip_byte, tear_file
 from repro.faults.plan import FaultCounters, FaultInjector, FaultPlan
 
 __all__ = [
+    "ChaosAction",
+    "ChaosPlan",
     "FaultCounters",
     "FaultInjector",
     "FaultPlan",

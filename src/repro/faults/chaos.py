@@ -1,0 +1,112 @@
+"""Process-level chaos for cluster tests: deterministic kill schedules.
+
+:mod:`repro.faults.plan` injects faults *inside* one pipeline; this
+module injects them *between* processes -- SIGKILLing a federated serve
+node or stalling its heartbeats mid-burst, which is how the cluster's
+failure detector, lease reclaim, and at-most-once commit get exercised
+for real.  Like every fault source in this package, the schedule is
+seed-deterministic: a :class:`ChaosPlan` draws victims and firing times
+from :class:`~repro.util.rng.DeterministicRng` child streams, so a
+chaos test that fails replays with the identical kill order.
+
+The plan only *decides*; :func:`execute` carries an action out against
+live node processes, so tests and the CI smoke share one code path for
+"kill node X at T" and "stall node Y's heartbeats for D seconds".
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass
+
+from repro.errors import FaultInjectionError
+from repro.util.rng import DeterministicRng
+
+#: Supported chaos actions.
+ACTION_KINDS = ("sigkill", "stall-heartbeats")
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled disruption: what, to whom, when."""
+
+    kind: str
+    target: str
+    #: Seconds after the burst starts that the action fires.
+    at_s: float
+    #: For stalls: how long heartbeats stay suppressed.
+    duration_s: float = 0.0
+
+    def describe(self) -> str:
+        extra = f" for {self.duration_s:.1f}s" if self.kind == "stall-heartbeats" else ""
+        return f"{self.kind} {self.target} at t+{self.at_s:.2f}s{extra}"
+
+
+class ChaosPlan:
+    """Seed-deterministic schedule of kills and heartbeat stalls."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = DeterministicRng(seed, "chaos")
+
+    def schedule(
+        self,
+        node_ids: list[str],
+        *,
+        window_s: float,
+        kills: int = 1,
+        stalls: int = 0,
+        stall_duration_s: float = 2.0,
+    ) -> list[ChaosAction]:
+        """Pick victims and firing times inside ``(0, window_s)``.
+
+        Victims are distinct (a node is disrupted at most once per
+        plan); at least one node is always left untouched, since a
+        cluster with every member killed has nothing left to assert.
+        """
+        if kills + stalls >= len(node_ids):
+            raise FaultInjectionError(
+                f"{kills} kills + {stalls} stalls needs at least "
+                f"{kills + stalls + 1} nodes, got {len(node_ids)}"
+            )
+        pick = self._rng.child("victims")
+        when = self._rng.child("times")
+        pool = sorted(node_ids)
+        actions = []
+        for kind, count, duration in (
+            ("sigkill", kills, 0.0),
+            ("stall-heartbeats", stalls, stall_duration_s),
+        ):
+            for _ in range(count):
+                victim = pool.pop(pick.randint(0, len(pool) - 1))
+                # Strictly inside the window: chaos mid-burst, never at
+                # the very edges where it degenerates to setup/teardown.
+                at_s = window_s * (0.25 + 0.5 * when.random())
+                actions.append(
+                    ChaosAction(
+                        kind=kind, target=victim, at_s=at_s, duration_s=duration
+                    )
+                )
+        return sorted(actions, key=lambda a: a.at_s)
+
+
+def execute(action: ChaosAction, *, procs: dict, ports: dict) -> None:
+    """Carry out one action against live node processes.
+
+    ``procs`` maps node id -> subprocess handle (anything with
+    ``send_signal``); ``ports`` maps node id -> TCP port for ops that
+    talk to the node instead of killing it.
+    """
+    if action.kind == "sigkill":
+        procs[action.target].send_signal(signal.SIGKILL)
+        return
+    if action.kind == "stall-heartbeats":
+        from repro.serve.protocol import request_once
+
+        request_once(
+            "127.0.0.1",
+            ports[action.target],
+            {"op": "stall-heartbeats", "duration_s": action.duration_s},
+        )
+        return
+    raise FaultInjectionError(f"unknown chaos action {action.kind!r}")

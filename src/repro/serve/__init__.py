@@ -34,10 +34,20 @@ import warnings
 
 #: name -> defining submodule, resolved lazily by :func:`__getattr__`.
 _EXPORTS = {
+    "ClusterConfig": "repro.serve.cluster",
+    "ClusterServer": "repro.serve.cluster",
+    "FailureDetector": "repro.serve.cluster",
+    "FakeClock": "repro.serve.jobs",
+    "HashRing": "repro.serve.cluster",
     "Job": "repro.serve.jobs",
     "JobQueue": "repro.serve.jobs",
     "JobSpec": "repro.serve.jobs",
+    "Lease": "repro.serve.jobs",
+    "LeaseManager": "repro.serve.cluster",
+    "MonotonicClock": "repro.serve.jobs",
     "ProfilingServer": "repro.serve.server",
+    "RetryExhaustedError": "repro.serve.retry",
+    "RetryPolicy": "repro.serve.retry",
     "ServeClient": "repro.serve.protocol",
     "ServeMetrics": "repro.serve.metrics",
     "SessionStore": "repro.serve.store",

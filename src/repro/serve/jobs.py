@@ -36,6 +36,89 @@ from repro.workloads import SCENARIO_DEFAULTS, SCENARIOS
 #: Engines a job may request (mirrors MachineConfig validation).
 VALID_ENGINES = ("reference", "fast")
 
+
+# ----------------------------------------------------------------------
+# Clocks: the seam lease timing goes through
+# ----------------------------------------------------------------------
+#
+# Lease liveness judgements must never read the wall clock: a node whose
+# wall clock is skewed (NTP step, VM resume, operator fat-finger) would
+# otherwise expire every peer's leases at once, or never expire any.
+# Every lease decision therefore goes through a Clock object whose only
+# contract is "now() is monotonic for this observer"; production code
+# uses MonotonicClock (time.monotonic), tests inject FakeClock and
+# advance it explicitly -- including with absurd offsets, to prove that
+# only *local deltas* ever matter.
+
+
+class MonotonicClock:
+    """The production clock: :func:`time.monotonic`, immune to wall skew."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock:
+    """A hand-cranked clock for tests.
+
+    ``offset`` models an arbitrary skew (it shifts every reading, the
+    way a wrong wall clock would); correctness of lease logic must not
+    depend on it, only on :meth:`advance` deltas.
+    """
+
+    def __init__(self, start: float = 0.0, offset: float = 0.0) -> None:
+        self._now = start + offset
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ServeError("FakeClock cannot run backwards")
+        self._now += seconds
+
+
+@dataclass
+class Lease:
+    """Ownership of one cluster job by one node, renewable and scannable.
+
+    Deliberately *clock-free on the wire*: a lease carries no timestamp,
+    only a ``renew_seq`` counter the owner bumps on every heartbeat.
+    Observers judge expiry by watching the counter advance against their
+    own monotonic clock, so a node with a skewed wall clock can neither
+    lose its leases early nor hold them forever.  ``generation`` counts
+    ownership transfers (a reclaim bumps it), which keys the one-shot
+    claim files that arbitrate racing reclaimers.
+    """
+
+    job_key: str
+    owner: str
+    spec: dict
+    renew_seq: int = 0
+    generation: int = 0
+
+    def to_wire(self) -> dict:
+        return {
+            "job_key": self.job_key,
+            "owner": self.owner,
+            "spec": self.spec,
+            "renew_seq": self.renew_seq,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_wire(cls, blob: dict) -> "Lease":
+        try:
+            return cls(
+                job_key=blob["job_key"],
+                owner=blob["owner"],
+                spec=blob["spec"],
+                renew_seq=int(blob.get("renew_seq", 0)),
+                generation=int(blob.get("generation", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed lease record: {exc}") from exc
+
 #: Terminal and non-terminal job states.
 JOB_STATES = ("queued", "running", "done", "failed", "requeued")
 
@@ -194,6 +277,8 @@ class Job:
             "wall_s": round(self.wall_s, 4) if self.wall_s is not None else None,
             "throughput": self.throughput,
             "quality": self.quality,
+            "submitted_s": self.submitted_s,
+            "finished_s": self.finished_s,
             "spec": self.spec.to_wire(),
         }
         return blob

@@ -37,6 +37,20 @@ class ServeMetrics:
         self.jobs_requeued = 0
         self.job_retries = 0
         self.worker_restarts = 0
+        # Cluster-mode counters.  Routed jobs are *not* in jobs_submitted
+        # (the owning peer counts them when it accepts); reclaimed jobs
+        # *are* (the reclaimer becomes the submitter of record), with
+        # jobs_reclaimed marking the subset that arrived via lease-scan.
+        # The per-node identity submitted == done + failed + requeued
+        # (+ depth + running) therefore still holds on every node, and
+        # summing it over live nodes plus the dead node's persisted
+        # counters reconciles the whole cluster.
+        self.jobs_routed = 0
+        self.jobs_reclaimed = 0  # subset of jobs_submitted
+        self.forward_failures = 0
+        self.heartbeats_sent = 0
+        self.peers_suspected = 0
+        self.peers_declared_dead = 0
         #: Memoized-view cache traffic, mirrored from the store's
         #: :class:`~repro.serve.store.ViewCache` at snapshot time.
         self.view_cache_hits = 0
@@ -98,6 +112,12 @@ class ServeMetrics:
             "jobs_requeued": self.jobs_requeued,
             "job_retries": self.job_retries,
             "worker_restarts": self.worker_restarts,
+            "jobs_routed": self.jobs_routed,
+            "jobs_reclaimed": self.jobs_reclaimed,
+            "forward_failures": self.forward_failures,
+            "heartbeats_sent": self.heartbeats_sent,
+            "peers_suspected": self.peers_suspected,
+            "peers_declared_dead": self.peers_declared_dead,
             "view_cache_hits": self.view_cache_hits,
             "view_cache_misses": self.view_cache_misses,
             "queue_depth": queue_depth,

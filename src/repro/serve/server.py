@@ -28,11 +28,13 @@ metrics reconcile exactly: submitted == done + failed + requeued.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import queue as queue_mod
 import signal
 import sys
 import threading
+import time
 from dataclasses import replace
 
 from repro import __version__
@@ -152,6 +154,10 @@ class ProfilingServer:
                     self.tracer.end(execute, terminal=False, result="drain-timeout")
             requeued.append(self.jobs[job_id])
             del self.running[job_id]
+        # A worker that died *during* the grace wait had its job
+        # force_pushed back onto the (already drained) queue by the
+        # monitor; drain again so those jobs reach requeue.json too.
+        requeued.extend(self.queue.drain())
         for job in requeued:
             job.state = "requeued"
             self.metrics.jobs_requeued += 1
@@ -223,6 +229,7 @@ class ProfilingServer:
             if job is not None and payload in self.running:
                 self.running[payload] = worker_id
                 job.worker = worker_id
+                job.started_s = time.time()
             return
         job_id, detail = payload
         job = self.jobs.get(job_id)
@@ -257,7 +264,13 @@ class ProfilingServer:
             job.status = "failed"
             job.error = detail
             self.metrics.jobs_failed += 1
+        job.finished_s = time.time()
+        self._job_finished(job)
         self._dispatch()
+
+    def _job_finished(self, job: Job) -> None:
+        """Hook for terminal transitions; cluster mode commits the
+        result record and releases the job's lease here."""
 
     async def _monitor_workers(self) -> None:
         """Requeue jobs orphaned by worker deaths; respawn workers."""
@@ -300,7 +313,7 @@ class ProfilingServer:
                     break
                 if not line:
                     break
-                response = self._handle_line(line)
+                response = await self._respond(line)
                 writer.write(encode(response))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
@@ -322,10 +335,21 @@ class ProfilingServer:
             line = await loop.run_in_executor(None, sys.stdin.readline)
             if not line:
                 break
-            response = self._handle_line(line)
+            response = await self._respond(line)
             sys.stdout.write(json.dumps(response) + "\n")
             sys.stdout.flush()
         self.request_drain()
+
+    async def _respond(self, line: bytes | str) -> dict:
+        """Handle one request line; op handlers may be coroutines (the
+        cluster's forwarding op awaits a peer without blocking the loop)."""
+        response = self._handle_line(line)
+        if inspect.isawaitable(response):
+            try:
+                response = await response
+            except ServeError as exc:
+                response = error_response(str(exc))
+        return response
 
     def _handle_line(self, line: bytes | str) -> dict:
         try:
@@ -361,15 +385,35 @@ class ProfilingServer:
         if self.draining:
             return error_response("server is draining", code="draining")
         spec = JobSpec.from_wire(message)
+        return self._accept(spec)
+
+    def _next_job_id(self, spec: JobSpec) -> str:
+        job_id = f"job-{self._seq:05d}-{spec.digest()[:8]}"
+        self._seq += 1
+        return job_id
+
+    def _accept(
+        self, spec: JobSpec, job_id: str | None = None, force: bool = False
+    ) -> dict:
+        """Admit a validated spec: enqueue or reject with backpressure.
+
+        Shared by local submits, forwarded cluster submissions (which
+        carry the originating node's ``job_id``), and lease reclaims
+        (which pass ``force=True`` -- a reclaimed job must never be
+        lost to a momentarily full queue).
+        """
         if self.tracer.enabled and not spec.trace:
             # A tracing server traces its jobs too, so worker subtrees
             # can be adopted; digest-excluded, so archives are unchanged.
             spec = replace(spec, trace=True)
-        job_id = f"job-{self._seq:05d}-{spec.digest()[:8]}"
-        self._seq += 1
+        if job_id is None:
+            job_id = self._next_job_id(spec)
         job = Job(job_id=job_id, spec=spec)
         try:
-            self.queue.push(job)
+            if force:
+                self.queue.force_push(job)
+            else:
+                self.queue.push(job)
         except QueueFullError:
             self.metrics.jobs_rejected += 1
             retry_after = self.metrics.retry_after_s(

@@ -19,6 +19,8 @@ from repro.workloads import SCENARIOS, build_kernel
 #: repro.api.__all__ AND here; removals/renames are breaking changes.
 EXPECTED_ALL = (
     "ANALYSIS_MODES",
+    "ClusterConfig",
+    "ClusterServer",
     "DProf",
     "DProfConfig",
     "DataQuality",
@@ -29,6 +31,8 @@ EXPECTED_ALL = (
     "NULL_TRACER",
     "OfflineSession",
     "ProfilingServer",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "RunConfig",
     "SCENARIOS",
     "ServeClient",
@@ -106,7 +110,12 @@ def test_deep_import_emits_exactly_one_deprecation_warning(package, name):
         assert not again
     finally:
         if saved is not None:
+            # Re-importing rebound the parent package's attribute to the
+            # throwaway module; restore both views or later tests resolve
+            # a stale `repro.serve`/`repro.dprof` with no submodule attrs.
             sys.modules[package] = saved
+            parent, _, child = package.rpartition(".")
+            setattr(sys.modules[parent], child, saved)
 
 
 def test_shim_unknown_name_raises_attribute_error():

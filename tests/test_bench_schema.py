@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro.bench import validate_report, write_report
+from repro.bench import merge_report, validate_report, write_report
 from repro.errors import BenchFormatError
 
 
@@ -173,6 +173,134 @@ def test_rejects_malformed_service_block():
     del document["service_throughput"]["jobs_per_minute"]
     with pytest.raises(BenchFormatError, match="jobs_per_minute"):
         validate_report(document)
+
+
+def _valid_load_sweep_section():
+    return {
+        "scenario": "synthetic",
+        "duration_cycles": 60000,
+        "workers": 4,
+        "jobs_per_rate": 24,
+        "arrivals": "poisson-open-loop",
+        "rates": [
+            {
+                "offered_rate_per_s": 4.0,
+                "realized_rate_per_s": 4.1,
+                "jobs": 24,
+                "accepted": 24,
+                "rejected": 0,
+                "completed": 24,
+                "achieved_rate_per_s": 4.0,
+                "p50_s": 0.12,
+                "p95_s": 0.2,
+                "p99_s": 0.31,
+            }
+        ],
+        "knee": {"offered_rate_per_s": 4.0, "reason": "rejected 2/24"},
+    }
+
+
+def test_load_sweep_section_validates():
+    document = _valid_document()
+    document["load_sweep"] = _valid_load_sweep_section()
+    validate_report(document)
+    document["load_sweep"]["knee"] = None  # unsaturated sweep is fine
+    validate_report(document)
+
+
+def test_rejects_load_sweep_without_rates():
+    document = _valid_document()
+    document["load_sweep"] = _valid_load_sweep_section()
+    document["load_sweep"]["rates"] = []
+    with pytest.raises(BenchFormatError, match="no rate steps"):
+        validate_report(document)
+
+
+def test_rejects_load_step_missing_percentile():
+    document = _valid_document()
+    document["load_sweep"] = _valid_load_sweep_section()
+    del document["load_sweep"]["rates"][0]["p99_s"]
+    with pytest.raises(BenchFormatError, match="p99_s"):
+        validate_report(document)
+
+
+def test_rejects_knee_without_rate():
+    document = _valid_document()
+    document["load_sweep"] = _valid_load_sweep_section()
+    document["load_sweep"]["knee"] = {"reason": "vibes"}
+    with pytest.raises(BenchFormatError, match="offered_rate_per_s"):
+        validate_report(document)
+
+
+def test_trajectory_validates_and_rejects_malformed_entries():
+    document = _valid_document()
+    document["trajectory"] = [
+        {
+            "recorded_at": "2026-08-08T12:00:00+0000",
+            "python": "3.12.1",
+            "commit": None,
+            "sections": ["scenarios"],
+        }
+    ]
+    validate_report(document)
+    document["trajectory"][0]["sections"] = "scenarios"
+    with pytest.raises(BenchFormatError, match="sections"):
+        validate_report(document)
+    document["trajectory"] = {"oops": True}
+    with pytest.raises(BenchFormatError, match="not a list"):
+        validate_report(document)
+
+
+def test_merge_report_preserves_old_sections_and_appends_trajectory():
+    old = _valid_document()
+    old["analysis"] = _valid_analysis_section()
+    old["trajectory"] = [
+        {
+            "recorded_at": "2026-01-01T00:00:00+0000",
+            "python": "3.12.0",
+            "commit": "abc1234",
+            "sections": ["analysis", "scenarios"],
+        }
+    ]
+    new = _valid_document()
+    new["scenarios"][0]["speedup"] = 9.0  # the re-run refreshed this
+    del new["service_throughput"]
+
+    merged = merge_report(new, old)
+    # New sections win; old-only sections survive the overlay.
+    assert merged["scenarios"][0]["speedup"] == 9.0
+    assert merged["analysis"] == old["analysis"]
+    assert merged["service_throughput"] == old["service_throughput"]
+    # History grows by exactly one entry naming the refreshed sections.
+    assert len(merged["trajectory"]) == 2
+    entry = merged["trajectory"][-1]
+    assert entry["sections"] == ["all_identical", "scenarios"]
+    assert entry["python"] == new["python"]
+    validate_report(merged)
+
+
+def test_write_report_appends_per_commit_trajectory(tmp_path):
+    out = tmp_path / "bench.json"
+    write_report(_valid_document(), str(out))
+    first = json.loads(out.read_text())
+    assert len(first["trajectory"]) == 1
+
+    second_doc = _valid_document()
+    second_doc["load_sweep"] = _valid_load_sweep_section()
+    write_report(second_doc, str(out))
+    second = json.loads(out.read_text())
+    assert len(second["trajectory"]) == 2
+    assert "load_sweep" in second["trajectory"][-1]["sections"]
+    assert second["load_sweep"]["arrivals"] == "poisson-open-loop"
+    validate_report(second)
+
+
+def test_write_report_refuses_to_clobber_corrupt_baseline(tmp_path):
+    out = tmp_path / "bench.json"
+    out.write_text("{torn")
+    with pytest.raises(BenchFormatError, match="refusing to overwrite"):
+        write_report(_valid_document(), str(out))
+    assert out.read_text() == "{torn"  # untouched
 
 
 def test_write_report_refuses_partial_and_writes_valid(tmp_path):

@@ -148,3 +148,170 @@ def test_cli_submit_rejects_bad_spec():
                 "--inject-faults", "warp_drive=1",
             ]
         )
+
+
+# ----------------------------------------------------------------------
+# Client-side resilience: _rpc_resilient retry/backoff behavior
+# ----------------------------------------------------------------------
+
+
+def _client_args(retry=3, timeout=5.0):
+    import argparse
+
+    return argparse.Namespace(
+        host="127.0.0.1", port=1, timeout=timeout, retry=retry
+    )
+
+
+class _FixedJitter:
+    def random(self):
+        return 1.0  # full ceiling, no randomness in the schedule
+
+
+def _patch_rpc(monkeypatch, responses):
+    """request_once returns/raises the next scripted item per call."""
+    calls = []
+
+    def fake_request_once(host, port, message, timeout=30.0):
+        calls.append(dict(message))
+        item = responses.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+    monkeypatch.setattr(
+        "repro.serve.protocol.request_once", fake_request_once
+    )
+    return calls
+
+
+def test_rpc_resilient_retries_queue_full_then_succeeds(monkeypatch):
+    from repro.cli import _rpc_resilient
+
+    calls = _patch_rpc(
+        monkeypatch,
+        [
+            {"ok": False, "code": "queue_full", "retry_after_s": 0.5},
+            {"ok": False, "code": "queue_full", "retry_after_s": 0.5},
+            {"ok": True, "job_id": "job-1"},
+        ],
+    )
+    slept = []
+    response = _rpc_resilient(
+        _client_args(retry=3),
+        {"op": "submit"},
+        sleep=slept.append,
+        clock=lambda: 0.0,
+        rng=_FixedJitter(),
+    )
+    assert response["ok"] and response["job_id"] == "job-1"
+    assert len(calls) == 3
+    # The server's retry_after_s hint drives the backoff ceiling.
+    assert slept == [0.5, 0.5]
+
+
+def test_rpc_resilient_retries_connection_errors(monkeypatch):
+    from repro.cli import _rpc_resilient
+
+    _patch_rpc(
+        monkeypatch,
+        [ConnectionRefusedError("down"), {"ok": True, "job_id": "job-2"}],
+    )
+    response = _rpc_resilient(
+        _client_args(retry=2),
+        {"op": "submit"},
+        sleep=lambda s: None,
+        clock=lambda: 0.0,
+        rng=_FixedJitter(),
+    )
+    assert response["ok"]
+
+
+def test_rpc_resilient_gives_up_after_budget(monkeypatch):
+    from repro.cli import _rpc_resilient
+
+    calls = _patch_rpc(
+        monkeypatch,
+        [{"ok": False, "code": "queue_full", "retry_after_s": 0.1}] * 3,
+    )
+    with pytest.raises(SystemExit, match="giving up after 3 attempt"):
+        _rpc_resilient(
+            _client_args(retry=2),
+            {"op": "submit"},
+            sleep=lambda s: None,
+            clock=lambda: 0.0,
+            rng=_FixedJitter(),
+        )
+    assert len(calls) == 3
+
+
+def test_rpc_resilient_does_not_retry_hard_rejects(monkeypatch):
+    from repro.cli import _rpc_resilient
+
+    calls = _patch_rpc(
+        monkeypatch, [{"ok": False, "code": "draining", "error": "draining"}]
+    )
+    response = _rpc_resilient(
+        _client_args(retry=5),
+        {"op": "submit"},
+        sleep=lambda s: None,
+        clock=lambda: 0.0,
+    )
+    assert response["code"] == "draining"
+    assert len(calls) == 1  # a reject retrying cannot fix is immediate
+
+
+def test_rpc_resilient_stops_at_deadline(monkeypatch):
+    from repro.cli import _rpc_resilient
+
+    calls = _patch_rpc(
+        monkeypatch,
+        [{"ok": False, "code": "queue_full", "retry_after_s": 60.0}] * 10,
+    )
+    now = [0.0]
+
+    def sleep(seconds):
+        now[0] += seconds
+
+    # Budget is timeout x (retry+1) = 10 s; the 60 s hint is capped to
+    # the 5 s max delay, so the deadline cuts the run to 3 of 10 tries.
+    with pytest.raises(SystemExit, match="giving up after 3 attempt"):
+        _rpc_resilient(
+            _client_args(retry=9, timeout=1.0),
+            {"op": "submit"},
+            sleep=sleep,
+            clock=lambda: now[0],
+            rng=_FixedJitter(),
+        )
+    assert len(calls) == 3
+
+
+def test_rpc_resilient_zero_retries_is_fail_fast(monkeypatch):
+    from repro.cli import _rpc_resilient
+
+    def refuse(host, port, message, timeout=30.0):
+        raise ConnectionRefusedError("down")
+
+    monkeypatch.setattr("repro.serve.protocol.request_once", refuse)
+    with pytest.raises(SystemExit, match="cannot reach server"):
+        _rpc_resilient(_client_args(retry=0), {"op": "submit"})
+
+
+def test_cluster_parser_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "cluster", "--node-id", "n1",
+            "--heartbeat-interval", "0.2",
+            "--suspect-after", "0.8",
+            "--dead-after", "1.6",
+            "--lease-timeout", "1.6",
+            "--workers", "2",
+        ]
+    )
+    assert args.command == "cluster"
+    assert args.node_id == "n1"
+    assert args.heartbeat_interval == 0.2
+    assert args.lease_timeout == 1.6
+    args = parser.parse_args(["submit", "--port", "1", "--retry", "4", "synthetic"])
+    assert args.retry == 4

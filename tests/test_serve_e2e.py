@@ -200,6 +200,62 @@ def test_serve_sigterm_drains_and_requeues(tmp_path):
         JobSpec.from_wire(spec)  # still valid for resubmission
 
 
+def _worker_pids(server_pid):
+    """The server's pool workers (direct children, minus the mp
+    resource tracker)."""
+    pids = []
+    for children in Path(f"/proc/{server_pid}/task").glob("*/children"):
+        try:
+            pids += [int(p) for p in children.read_text().split()]
+        except OSError:
+            continue
+    workers = []
+    for pid in pids:
+        try:
+            cmdline = Path(f"/proc/{pid}/cmdline").read_bytes().decode()
+        except OSError:
+            continue
+        if "resource_tracker" not in cmdline:
+            workers.append(pid)
+    return workers
+
+
+@pytest.mark.slow
+def test_serve_worker_death_during_drain_still_requeues(tmp_path):
+    """Regression: a worker SIGKILLed *during* the drain grace wait used
+    to leave its job force_pushed onto the already-drained queue, so it
+    never reached requeue.json.  The drain must re-drain and persist it."""
+    import os
+
+    proc, port = _start_server(tmp_path, workers=1, drain_grace=15.0)
+    try:
+        # One long job (~3 s) so it is still in flight when drain starts.
+        job_id = _submit(port, "synthetic", seed=600, duration=3_000_000)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            job = _rpc(port, {"op": "status", "job_id": job_id})["job"]
+            if job["state"] == "running":
+                break
+            time.sleep(0.05)
+        assert job["state"] == "running"
+        workers = _worker_pids(proc.pid)
+        assert workers, "no pool worker found"
+
+        proc.send_signal(signal.SIGTERM)
+        time.sleep(0.4)  # drain is now inside its grace wait
+        for pid in workers:
+            os.kill(pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode == 0
+    finally:
+        _stop(proc)
+
+    requeued = SessionStore(tmp_path / "store").read_requeue()
+    assert len(requeued) == 1
+    spec = JobSpec.from_wire(requeued[0])
+    assert spec.seed == 600 and spec.duration == 3_000_000
+
+
 @pytest.mark.slow
 def test_serve_rejects_when_draining_is_clean(tmp_path):
     """The shutdown op answers, then the server exits by itself."""
