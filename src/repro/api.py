@@ -23,7 +23,9 @@ Groups:
 - **configuration**: :class:`RunConfig`;
 - **tracing**: :class:`Tracer`, ``NULL_TRACER``, :class:`SimProbe`,
   :func:`load_trace`, :func:`render_tree`, :func:`stage_totals`,
-  :func:`critical_path`, :func:`reconcile_serve`.
+  :func:`critical_path`, :func:`reconcile_serve`;
+- **metrics & kernels**: :class:`MetricsSummary`, :func:`machine_counters`,
+  :class:`KernelSpec`, ``KERNEL_FAMILIES``, :func:`expected_metrics`.
 
 The ``__all__`` tuple is the public API contract and is pinned by
 ``tests/test_api_facade.py``; additions are fine, removals and renames
@@ -40,6 +42,7 @@ from repro.dprof.profiler import DProf, DProfConfig
 from repro.dprof.quality import DataQuality
 from repro.dprof.session_io import OfflineSession, export_session, load_session
 from repro.hw.machine import MachineConfig
+from repro.metrics import MetricsSummary, machine_counters
 from repro.serve.cluster import ClusterConfig, ClusterServer
 from repro.serve.jobs import JobSpec
 from repro.serve.protocol import ServeClient, request_once
@@ -58,6 +61,7 @@ from repro.trace import (
     stage_totals,
 )
 from repro.workloads import SCENARIOS, build_kernel
+from repro.workloads.kernels import KERNEL_FAMILIES, KernelSpec, expected_metrics
 
 __all__ = (
     "ANALYSIS_MODES",
@@ -69,7 +73,10 @@ __all__ = (
     "Diagnosis",
     "Finding",
     "JobSpec",
+    "KERNEL_FAMILIES",
+    "KernelSpec",
     "MachineConfig",
+    "MetricsSummary",
     "NULL_TRACER",
     "OfflineSession",
     "ProfilingServer",
@@ -87,9 +94,11 @@ __all__ = (
     "critical_path",
     "execute_job",
     "execute_job_to_store",
+    "expected_metrics",
     "export_session",
     "load_session",
     "load_trace",
+    "machine_counters",
     "reconcile_serve",
     "render_tree",
     "request_once",

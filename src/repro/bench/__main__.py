@@ -13,6 +13,7 @@ from repro.bench import (
     run_benchmarks,
     write_report,
 )
+from repro.workloads import SCENARIOS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -41,8 +42,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--scenario",
         action="append",
-        choices=SCENARIO_ORDER,
-        help="run only this scenario (repeatable)",
+        choices=sorted(SCENARIOS),
+        help="run only this scenario (repeatable; includes kernel families)",
     )
     parser.add_argument(
         "--service-jobs",

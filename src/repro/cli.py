@@ -186,14 +186,22 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def cmd_list_scenarios(_args: argparse.Namespace) -> int:
-    """Print the SCENARIOS registry with per-scenario defaults."""
-    print(f"{'scenario':<12} {'cores':>5} {'duration':>9} {'interval':>8}  description")
+    """Print the SCENARIOS registry: defaults, description, parameters.
+
+    Kernel families are parameterized, so each scenario also lists its
+    parameter schema (the spec knobs and their defaults) on an indented
+    ``params:`` line.
+    """
+    print(
+        f"{'scenario':<16} {'cores':>5} {'duration':>9} {'interval':>8}  description"
+    )
     for name in sorted(SCENARIO_DEFAULTS):
         defaults = SCENARIO_DEFAULTS[name]
         print(
-            f"{name:<12} {defaults.cores:>5} {defaults.duration:>9} "
+            f"{name:<16} {defaults.cores:>5} {defaults.duration:>9} "
             f"{defaults.interval:>8}  {defaults.description}"
         )
+        print(f"{'':<16} params: {defaults.params}")
     return 0
 
 
@@ -442,6 +450,59 @@ def cmd_fetch(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
+    """Top-down derived metrics, from any of the three session paths.
+
+    - no target, ``--port``: the server's service counters (back-compat);
+    - target is an archive file: offline metrics via ``load_session``;
+    - target + ``--port``: the server renders the job's metrics view;
+    - target + ``--run``: execute the scenario inline and summarize it.
+
+    All three session paths derive from identical archive bytes, so the
+    numbers agree exactly.
+    """
+    from pathlib import Path
+
+    if args.run:
+        from repro.metrics import MetricsSummary
+        from repro.serve.workers import execute_job
+
+        if not args.target:
+            raise SystemExit("metrics --run needs a scenario name")
+        args.scenario = args.target
+        spec = _spec_from_args(args)
+        status, archive_text, _info = execute_job(spec)
+        counters = json.loads(archive_text).get("hw_counters")
+        if counters is None:
+            print("run produced no hardware counters", file=sys.stderr)
+            return 1
+        print(MetricsSummary.from_blob(counters).render(), end="")
+        return 0 if status != "failed" else 1
+    if args.target and Path(args.target).exists():
+        from repro.dprof.session_io import load_session
+
+        summary = load_session(args.target).metrics()
+        if summary is None:
+            print(
+                f"{args.target}: archive predates hardware-counter export",
+                file=sys.stderr,
+            )
+            return 1
+        print(summary.render(), end="")
+        return 0
+    if args.port is None:
+        raise SystemExit(
+            "metrics needs --port (server counters / job view), an archive "
+            "path, or --run SCENARIO"
+        )
+    if args.target:
+        response = _rpc_resilient(
+            args, {"op": "fetch", "job_id": args.target, "view": "metrics"}
+        )
+        if not response.get("ok"):
+            print(response.get("error"), file=sys.stderr)
+            return 1
+        print(response.get("rendered", ""))
+        return 0
     response = _rpc(args, {"op": "metrics"})
     print(response["rendered"])
     return 0
@@ -719,7 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--view",
         choices=(
             "data-profile", "working-set", "miss-class", "data-flow",
-            "quality", "archive",
+            "quality", "metrics", "archive",
         ),
         default="data-profile",
     )
@@ -732,9 +793,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ft.set_defaults(func=cmd_fetch)
 
-    mt = sub.add_parser("metrics", help="service counters from the server")
-    add_client_flags(mt)
-    mt.set_defaults(func=cmd_metrics)
+    mt = sub.add_parser(
+        "metrics",
+        help="top-down session metrics (archive, job, or inline run), or "
+        "service counters from a server",
+        parents=[service_flags],
+    )
+    mt.add_argument(
+        "target", nargs="?", default=None,
+        help="job id/digest (with --port), an archive path, or a scenario "
+        "name (with --run); omit for the server's service counters",
+    )
+    mt.add_argument("--host", default="127.0.0.1")
+    mt.add_argument(
+        "--port", type=int, default=None,
+        help="server to query for job views / service counters",
+    )
+    mt.add_argument(
+        "--timeout", type=float, default=10.0, help="socket timeout (s)"
+    )
+    mt.add_argument("--retry", type=int, default=0, metavar="N")
+    mt.add_argument(
+        "--run", action="store_true",
+        help="execute the target scenario inline and summarize it",
+    )
+    mt.add_argument("--cores", type=int, default=None)
+    mt.add_argument("--duration", type=int, default=None, metavar="CYCLES")
+    mt.add_argument("--interval", type=int, default=None)
+    mt.add_argument("--seed", type=int, default=11)
+    mt.set_defaults(func=cmd_metrics, scenario=None, trace=False, priority=0)
 
     ro = sub.add_parser(
         "run-once",

@@ -47,6 +47,7 @@ from repro.errors import SessionFormatError
 from repro.hw.cache import CacheGeometry
 from repro.hw.events import CacheLevel
 from repro.kernel.symbols import SymbolTable
+from repro.metrics import MetricsSummary, machine_counters
 from repro.util.rng import DeterministicRng
 
 #: v1 = no checksums (pre-robustness archives, still loadable);
@@ -154,6 +155,10 @@ def export_session(dprof) -> dict:
         "sim_geometry": [cfg.l2_size, cfg.l2_ways, cfg.line_size],
         "chunk_size": dprof.config.chunk_size,
         "data_quality": dprof.data_quality().to_blob(),
+        # Raw hierarchy/instruction counters for the top-down metrics
+        # summary (repro.metrics).  Not checksummed: plain ints, and old
+        # readers must keep accepting archives without the section.
+        "hw_counters": machine_counters(dprof.machine),
     }
     blob["checksums"] = {
         name: section_checksum(blob[name]) for name in CHECKSUMMED_SECTIONS
@@ -430,6 +435,22 @@ class OfflineSession:
     def data_flow(self, type_name: str) -> DataFlowView:
         view = DataFlowView(type_name, self.path_traces(type_name))
         return self._attach_quality(view, "data flow")
+
+    def metrics(self) -> MetricsSummary | None:
+        """Top-down metrics summary, or None for pre-metrics archives.
+
+        Derived purely from the archived counter integers, so the
+        numbers equal the live run's :func:`MetricsSummary.from_machine`
+        exactly -- the three-path identity the CLI's ``repro metrics``
+        relies on.
+        """
+        counters = self.blob.get("hw_counters")
+        if not isinstance(counters, dict):
+            return None
+        try:
+            return MetricsSummary.from_blob(counters)
+        except (KeyError, TypeError, ValueError):
+            return None
 
 
 class _SectionRecovery:

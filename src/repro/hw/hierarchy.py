@@ -94,19 +94,48 @@ class HierarchyConfig:
 
 
 class HierarchyStats:
-    """Aggregate hit/miss counters across the hierarchy."""
+    """Aggregate hit/miss counters across the hierarchy.
+
+    Beyond the level/miss-kind tallies the differential harness diffs,
+    the stats also accumulate per-level latency sums and a per-line
+    accessor bitmask -- the raw inputs :mod:`repro.metrics` derives MPKI,
+    average miss latency, and the sharing ratio from.  Both live engines
+    share this accounting because :class:`FastHierarchy` inherits
+    :meth:`MemoryHierarchy.access`, so derived metrics are engine-exact
+    by construction.
+    """
 
     def __init__(self) -> None:
         self.accesses = 0
         self.level_counts: dict[CacheLevel, int] = {level: 0 for level in CacheLevel}
         self.miss_kind_counts: dict[MissKind, int] = {kind: 0 for kind in MissKind}
+        #: Cycles spent serving accesses, bucketed by the level that
+        #: served them (a split access charges its summed latency to the
+        #: worst level encountered, mirroring how the stall is reported).
+        self.latency_by_level: dict[CacheLevel, int] = {
+            level: 0 for level in CacheLevel
+        }
+        #: line index -> bitmask of cpus that ever touched the line.
+        self._line_users: dict[int, int] = {}
 
-    def record(self, result: AccessResult) -> None:
+    def record(
+        self,
+        result: AccessResult,
+        cpu: int | None = None,
+        first_line: int | None = None,
+        last_line: int | None = None,
+    ) -> None:
         """Fold one access outcome into the counters."""
         self.accesses += 1
         self.level_counts[result.level] += 1
+        self.latency_by_level[result.level] += result.latency
         if result.miss_kind is not None:
             self.miss_kind_counts[result.miss_kind] += 1
+        if cpu is not None and first_line is not None:
+            bit = 1 << cpu
+            users = self._line_users
+            for line in range(first_line, (last_line or first_line) + 1):
+                users[line] = users.get(line, 0) | bit
 
     @property
     def l1_miss_rate(self) -> float:
@@ -129,6 +158,25 @@ class HierarchyStats:
                 kind.value: n for kind, n in self.miss_kind_counts.items()
             },
         }
+
+    def metrics_counters(self) -> dict:
+        """Raw counters for :mod:`repro.metrics`, superset of snapshot().
+
+        Kept separate from :meth:`snapshot` so the replay engine's
+        equivalence contract (``stats_snapshot() == snapshot()``) stays
+        untouched.
+        """
+        lines_total = len(self._line_users)
+        lines_shared = sum(
+            1 for mask in self._line_users.values() if mask & (mask - 1)
+        )
+        counters = self.snapshot()
+        counters["latency_by_level"] = {
+            level.name: n for level, n in self.latency_by_level.items()
+        }
+        counters["lines_total"] = lines_total
+        counters["lines_shared"] = lines_shared
+        return counters
 
 
 class MemoryHierarchy:
@@ -216,7 +264,7 @@ class MemoryHierarchy:
                 result.miss_kind = extra.miss_kind
                 result.invalidation = extra.invalidation
                 result.eviction = extra.eviction
-        self.stats.record(result)
+        self.stats.record(result, cpu=cpu, first_line=first, last_line=last)
         return result
 
     def _access_line(

@@ -1,0 +1,175 @@
+"""Top-down derived metrics over the simulated memory hierarchy.
+
+DProf's four views answer *which data* is causing trouble; this module
+answers *how much* trouble, in the per-level vocabulary performance
+engineers already use: MPKI per cache level, average miss latency,
+cycles-per-access, and the sharing ratio.  Everything derives from the
+raw :meth:`HierarchyStats.metrics_counters` integers plus the machine's
+instruction/cycle totals, so the same summary is computable from a live
+:class:`~repro.hw.machine.Machine`, an archived session blob, or a
+serve-fetched job -- with bit-identical numbers on every path.
+
+The generated-kernel families in :mod:`repro.workloads.kernels` ship
+closed-form models for these metrics, which is what turns the summary
+into a ground-truth oracle rather than just a dashboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MetricsSummary", "machine_counters"]
+
+#: Order levels appear in renders; matches CacheLevel declaration order.
+LEVEL_ORDER = ("L1", "L2", "L3", "FOREIGN", "DRAM")
+MISS_KIND_ORDER = ("cold", "invalidation", "eviction")
+
+
+def machine_counters(machine) -> dict:
+    """Raw counter blob for a machine's hierarchy, ready for an archive.
+
+    Plain ints and string-keyed dicts only, so the blob survives a JSON
+    round-trip unchanged and summaries computed live vs. offline agree
+    exactly.
+    """
+    counters = machine.hierarchy.stats.metrics_counters()
+    counters["instructions"] = machine.total_instructions
+    counters["cycles"] = machine.elapsed_cycles()
+    return counters
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Derived top-down metrics, computed from raw hierarchy counters."""
+
+    accesses: int
+    instructions: int
+    cycles: int
+    levels: dict = field(default_factory=dict)
+    miss_kinds: dict = field(default_factory=dict)
+    latency_by_level: dict = field(default_factory=dict)
+    lines_total: int = 0
+    lines_shared: int = 0
+
+    @classmethod
+    def from_blob(cls, blob: dict) -> "MetricsSummary":
+        """Rebuild a summary from a counter blob (archive ``hw_counters``)."""
+        return cls(
+            accesses=int(blob["accesses"]),
+            instructions=int(blob["instructions"]),
+            cycles=int(blob["cycles"]),
+            levels={k: int(v) for k, v in blob["levels"].items()},
+            miss_kinds={k: int(v) for k, v in blob["miss_kinds"].items()},
+            latency_by_level={
+                k: int(v) for k, v in blob["latency_by_level"].items()
+            },
+            lines_total=int(blob["lines_total"]),
+            lines_shared=int(blob["lines_shared"]),
+        )
+
+    @classmethod
+    def from_machine(cls, machine) -> "MetricsSummary":
+        """Summary for a live machine (same numbers as the archived path)."""
+        return cls.from_blob(machine_counters(machine))
+
+    def to_blob(self) -> dict:
+        """Counter blob, inverse of :meth:`from_blob`."""
+        return {
+            "accesses": self.accesses,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "levels": dict(self.levels),
+            "miss_kinds": dict(self.miss_kinds),
+            "latency_by_level": dict(self.latency_by_level),
+            "lines_total": self.lines_total,
+            "lines_shared": self.lines_shared,
+        }
+
+    # -- derived scalar metrics -------------------------------------------
+
+    @property
+    def l1_misses(self) -> int:
+        """Accesses not served by the issuing core's L1."""
+        return self.accesses - self.levels.get("L1", 0)
+
+    @property
+    def l2_misses(self) -> int:
+        """Accesses that missed both private levels."""
+        return self.l1_misses - self.levels.get("L2", 0)
+
+    @property
+    def l3_misses(self) -> int:
+        """Accesses served beyond the shared L3 (cache-to-cache or DRAM)."""
+        return self.levels.get("FOREIGN", 0) + self.levels.get("DRAM", 0)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, level: str) -> float:
+        """Misses per kilo-instruction at a given level (``L1|L2|L3``)."""
+        misses = {"L1": self.l1_misses, "L2": self.l2_misses, "L3": self.l3_misses}[
+            level
+        ]
+        if not self.instructions:
+            return 0.0
+        return misses * 1000.0 / self.instructions
+
+    @property
+    def total_latency(self) -> int:
+        """Memory-system cycles summed over every access."""
+        return sum(self.latency_by_level.values())
+
+    @property
+    def avg_miss_latency(self) -> float:
+        """Mean cycles to serve an access that missed L1."""
+        misses = self.l1_misses
+        if not misses:
+            return 0.0
+        return (self.total_latency - self.latency_by_level.get("L1", 0)) / misses
+
+    @property
+    def cycles_per_access(self) -> float:
+        """Mean memory-system cycles per access, hits included."""
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+    @property
+    def sharing_ratio(self) -> float:
+        """Fraction of touched cache lines accessed by more than one core."""
+        return self.lines_shared / self.lines_total if self.lines_total else 0.0
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self) -> str:
+        """One-screen top-down summary, companion to the four DProf views."""
+        lines = ["== top-down metrics " + "=" * 43]
+        lines.append(
+            f"{'instructions':<16}{self.instructions:>12}    "
+            f"{'cycles':<14}{self.cycles:>12}"
+        )
+        lines.append(
+            f"{'mem accesses':<16}{self.accesses:>12}    "
+            f"{'cycles/access':<14}{self.cycles_per_access:>12.3f}"
+        )
+        served = "  ".join(
+            f"{name}={self.levels.get(name, 0)}" for name in LEVEL_ORDER
+        )
+        lines.append(f"{'served by':<16}{served}")
+        lines.append(
+            f"{'MPKI':<16}"
+            f"L1={self.mpki('L1'):.3f}  L2={self.mpki('L2'):.3f}  "
+            f"L3={self.mpki('L3'):.3f}"
+        )
+        lines.append(
+            f"{'miss latency':<16}{self.avg_miss_latency:.3f} cycles avg "
+            f"({self.l1_misses} L1 misses, rate {self.l1_miss_rate:.4f})"
+        )
+        lines.append(
+            f"{'sharing':<16}{self.lines_shared}/{self.lines_total} lines "
+            f"touched by >1 core (ratio {self.sharing_ratio:.4f})"
+        )
+        kinds = "  ".join(
+            f"{name}={self.miss_kinds.get(name, 0)}" for name in MISS_KIND_ORDER
+        )
+        lines.append(f"{'miss kinds':<16}{kinds}")
+        return "\n".join(lines) + "\n"

@@ -56,13 +56,14 @@ VIEW_NAMES = (
     "miss-class",
     "data-flow",
     "quality",
+    "metrics",
     "archive",
 )
 
 
 #: Bump when any view's rendering changes; stale cache entries from an
 #: older build then simply never match and age out.
-VIEW_CACHE_VERSION = 1
+VIEW_CACHE_VERSION = 2
 
 #: Subdirectory of a store root holding memoized view renderings.
 VIEW_CACHE_DIR = "views"
@@ -282,6 +283,14 @@ class SessionStore:
             return session.working_set().render(top)
         if view == "quality":
             return session.data_quality.render()
+        if view == "metrics":
+            summary = session.metrics()
+            if summary is None:
+                raise ServeError(
+                    f"archive {digest} predates hardware-counter export "
+                    "(no metrics section)"
+                )
+            return summary.render()
         # miss-class and data-flow are per-type views.
         if type_name is None:
             available = sorted({h.type_name for h in session.histories})

@@ -7,7 +7,9 @@
   study);
 - :mod:`repro.workloads.synthetic` -- targeted generators for each cache
   miss class, used to validate DProf's classification against the
-  simulator's ground truth.
+  simulator's ground truth;
+- :mod:`repro.workloads.kernels` -- generated access-stream kernels with
+  closed-form expected-metrics models (the ground-truth families).
 """
 
 from dataclasses import dataclass
@@ -16,8 +18,10 @@ from repro.workloads.base import WorkloadResult, build_kernel
 from repro.workloads.memcached import MemcachedConfig, MemcachedWorkload
 from repro.workloads.apache import ApacheConfig, ApacheWorkload
 from repro.workloads import apache as _apache
+from repro.workloads import kernels as _kernels
 from repro.workloads import memcached as _memcached
 from repro.workloads import synthetic as _synthetic
+from repro.workloads.kernels import KERNEL_FAMILIES, KernelSpec
 
 #: Uniform scenario entry points: name -> drive(kernel, duration_cycles).
 #: Used by ``repro.bench``, ``repro.serve``, and the engine-equivalence
@@ -27,6 +31,7 @@ SCENARIOS = {
     "apache": _apache.drive,
     "synthetic": _synthetic.drive,
 }
+SCENARIOS.update(_kernels.scenario_entries())
 
 
 @dataclass(frozen=True)
@@ -37,6 +42,8 @@ class ScenarioDefaults:
     duration: int
     interval: int
     description: str
+    #: One-line parameter schema shown by ``repro list-scenarios``.
+    params: str = "cores duration interval seed"
 
 
 #: Defaults per registered scenario, consumed by ``repro.serve`` job
@@ -62,6 +69,12 @@ SCENARIO_DEFAULTS = {
         description="all four miss-class microworkloads running together",
     ),
 }
+SCENARIO_DEFAULTS.update(
+    {
+        name: ScenarioDefaults(**raw)
+        for name, raw in _kernels.scenario_defaults().items()
+    }
+)
 
 __all__ = [
     "WorkloadResult",
@@ -69,6 +82,8 @@ __all__ = [
     "SCENARIOS",
     "SCENARIO_DEFAULTS",
     "ScenarioDefaults",
+    "KERNEL_FAMILIES",
+    "KernelSpec",
     "MemcachedConfig",
     "MemcachedWorkload",
     "ApacheConfig",

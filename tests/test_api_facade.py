@@ -27,7 +27,10 @@ EXPECTED_ALL = (
     "Diagnosis",
     "Finding",
     "JobSpec",
+    "KERNEL_FAMILIES",
+    "KernelSpec",
     "MachineConfig",
+    "MetricsSummary",
     "NULL_TRACER",
     "OfflineSession",
     "ProfilingServer",
@@ -45,9 +48,11 @@ EXPECTED_ALL = (
     "critical_path",
     "execute_job",
     "execute_job_to_store",
+    "expected_metrics",
     "export_session",
     "load_session",
     "load_trace",
+    "machine_counters",
     "reconcile_serve",
     "render_tree",
     "request_once",

@@ -321,3 +321,48 @@ def test_checked_in_baseline_validates():
 
     baseline = Path(__file__).resolve().parent.parent / "BENCH_dprof.json"
     validate_report(json.loads(baseline.read_text()))
+
+
+def test_smoke_without_out_writes_no_report(tmp_path, monkeypatch):
+    # `python -m repro.bench --smoke` (no --out) must be read-only: the
+    # committed BENCH_dprof.json is a curated baseline, not a side effect.
+    from repro.bench.__main__ import main as bench_main
+
+    sentinel = tmp_path / "BENCH_dprof.json"
+    sentinel.write_text('{"do-not-touch": true}')
+    before = sentinel.read_bytes()
+    monkeypatch.chdir(tmp_path)
+    rc = bench_main(
+        [
+            "--smoke",
+            "--scenario", "kernel-counters",
+            "--duration", "5000",
+            "--ncores", "2",
+            "--service-jobs", "0",
+        ]
+    )
+    assert rc == 0
+    assert sentinel.read_bytes() == before
+    # Nothing else appeared in the working directory either.
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["BENCH_dprof.json"]
+
+
+def test_smoke_with_out_writes_only_the_named_file(tmp_path, monkeypatch):
+    from repro.bench.__main__ import main as bench_main
+
+    monkeypatch.chdir(tmp_path)
+    out = tmp_path / "report.json"
+    rc = bench_main(
+        [
+            "--smoke",
+            "--scenario", "kernel-counters",
+            "--duration", "5000",
+            "--ncores", "2",
+            "--service-jobs", "0",
+            "--out", str(out),
+        ]
+    )
+    assert rc == 0
+    document = json.loads(out.read_text())
+    validate_report(document)
+    assert [s["name"] for s in document["scenarios"]] == ["kernel-counters"]

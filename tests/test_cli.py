@@ -315,3 +315,64 @@ def test_cluster_parser_flags():
     assert args.lease_timeout == 1.6
     args = parser.parse_args(["submit", "--port", "1", "--retry", "4", "synthetic"])
     assert args.retry == 4
+
+
+def test_cli_list_scenarios_shows_params_and_kernel_families(capsys):
+    rc = main(["list-scenarios"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    from repro.workloads import SCENARIO_DEFAULTS
+
+    for name, defaults in SCENARIO_DEFAULTS.items():
+        assert name in out
+        assert defaults.params in out
+    # One params: line per scenario, indented under its row.
+    assert out.count("params:") == len(SCENARIO_DEFAULTS)
+    for family in ("kernel-strided", "kernel-pingpong", "kernel-ring"):
+        assert family in out
+
+
+def test_parser_metrics_and_fetch_metrics_view():
+    parser = build_parser()
+    args = parser.parse_args(["metrics", "--port", "7777", "job-1"])
+    assert args.target == "job-1"
+    assert args.port == 7777
+    args = parser.parse_args(["metrics", "kernel-ring", "--run", "--seed", "3"])
+    assert args.run and args.seed == 3
+    args = parser.parse_args(
+        ["fetch", "--port", "7777", "job-1", "--view", "metrics"]
+    )
+    assert args.view == "metrics"
+
+
+def test_cli_metrics_requires_a_source():
+    with pytest.raises(SystemExit, match="metrics needs --port"):
+        main(["metrics"])
+    with pytest.raises(SystemExit, match="needs a scenario name"):
+        main(["metrics", "--run"])
+
+
+def test_cli_metrics_archive_path_matches_inline_run(tmp_path, capsys):
+    # Path A: run-once lands an archive in the store...
+    rc = main(
+        [
+            "run-once", "kernel-counters",
+            "--seed", "11",
+            "--store", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    (archive,) = tmp_path.glob("*.session.json")
+    rc = main(["metrics", str(archive)])
+    assert rc == 0
+    from_archive = capsys.readouterr().out
+
+    # ...Path B: the same spec executed inline by `metrics --run`.
+    rc = main(["metrics", "kernel-counters", "--run", "--seed", "11"])
+    assert rc == 0
+    from_run = capsys.readouterr().out
+
+    assert from_archive.startswith("== top-down metrics ")
+    assert from_archive == from_run
+    assert "MPKI" in from_archive and "sharing" in from_archive

@@ -132,3 +132,70 @@ class TestApache:
         _r, wl = apache_run(period=40_000)
         # TCP flow hashing steers responses to the same core: no aliens.
         assert wl.stack.fclone_cache.alien_frees == 0
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry: every entry round-trips through the full pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestScenarioRegistry:
+    """Every SCENARIOS entry must survive spec -> run -> archive -> views."""
+
+    def test_defaults_cover_exactly_the_registry(self):
+        from repro.workloads import SCENARIO_DEFAULTS, SCENARIOS
+
+        assert set(SCENARIO_DEFAULTS) == set(SCENARIOS)
+        for name, defaults in SCENARIO_DEFAULTS.items():
+            assert defaults.cores >= 1, name
+            assert defaults.duration > 0, name
+            assert defaults.interval > 0, name
+            assert defaults.description, name
+            assert defaults.params, name
+
+    def test_kernel_families_are_registered(self):
+        from repro.workloads import SCENARIOS
+        from repro.workloads.kernels import KERNEL_FAMILIES
+
+        assert set(KERNEL_FAMILIES) <= set(SCENARIOS)
+        assert len(KERNEL_FAMILIES) >= 5
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(__import__("repro.workloads", fromlist=["SCENARIOS"]).SCENARIOS),
+    )
+    def test_round_trip_spec_archive_views(self, name, tmp_path):
+        import json
+
+        from repro.dprof.session_io import load_session
+        from repro.serve.jobs import JobSpec
+        from repro.workloads import SCENARIO_DEFAULTS
+
+        defaults = SCENARIO_DEFAULTS[name]
+        spec = JobSpec.create(
+            scenario=name,
+            cores=defaults.cores,
+            duration=min(defaults.duration, 100_000),
+            interval=defaults.interval,
+            seed=11,
+            engine="fast",
+        )
+        from repro.serve.workers import execute_job
+
+        status, archive_text, _info = execute_job(spec)
+        assert status == "ok", name
+        path = tmp_path / f"{name}.session.json"
+        path.write_text(archive_text)
+        session = load_session(path)
+        # All four DProf views render from the archive...
+        assert session.data_profile().render(5)
+        assert session.working_set().render(5)
+        types = sorted({h.type_name for h in session.histories})
+        type_name = types[0] if types else "unknown-type"
+        assert session.miss_classification(type_name).render()
+        assert session.data_flow(type_name).render_text() is not None
+        # ...plus the metrics summary, with counters intact in the blob.
+        summary = session.metrics()
+        assert summary is not None
+        blob = json.loads(archive_text)
+        assert summary.accesses == blob["hw_counters"]["accesses"]
